@@ -1,0 +1,39 @@
+"""Ablation: single-filter instability and ensemble stabilization.
+
+Paper §III-B1: single random filters at small p are unstable ("AUCs fell
+within an absolute range of up to .2, even within the same replicate"),
+which motivated the 10-member median ensembles. Two sweeps reproduce this:
+AUC spread vs filter fraction (single filter) and AUC spread vs ensemble
+size (at the paper's p = 0.05).
+"""
+
+from conftest import emit
+
+from repro.experiments import render_table
+from repro.experiments.ablations import (
+    ensemble_size_stability,
+    filter_fraction_instability,
+)
+
+
+def bench_filter_stability(benchmark, settings, results_dir):
+    def run():
+        return (
+            filter_fraction_instability(settings),
+            ensemble_size_stability(settings),
+        )
+
+    fraction_rows, size_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [
+            render_table(
+                fraction_rows,
+                title="Single random filter: AUC spread vs kept fraction p",
+            ),
+            render_table(
+                size_rows,
+                title="Random-filter ensemble: AUC spread vs member count (p = 0.05)",
+            ),
+        ]
+    )
+    emit(results_dir, "ablation_filter_stability", text)

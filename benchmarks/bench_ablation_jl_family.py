@@ -1,0 +1,21 @@
+"""Ablation: the three JL matrix families (paper §I-A2).
+
+Gaussian, Uniform(-1,1), and Achlioptas-sparse constructions all satisfy
+the JL guarantee; pre-projection FRaC accuracy should be statistically
+indistinguishable across them.
+"""
+
+from conftest import emit
+
+from repro.experiments import render_table
+from repro.experiments.ablations import jl_family_equivalence
+
+
+def bench_jl_family(benchmark, settings, results_dir):
+    rows = benchmark.pedantic(
+        lambda: jl_family_equivalence(settings), rounds=1, iterations=1
+    )
+    text = render_table(
+        rows, title="Ablation: JL matrix family (biomarkers, 5 projections each)"
+    )
+    emit(results_dir, "ablation_jl_family", text)

@@ -1,0 +1,22 @@
+"""Ablation: partial vs full filtering (paper §III-B1).
+
+The paper evaluated partial filtering, found it "consistently worse than
+full filtering in time, space, and AUC preservation across all data sets",
+and dropped it from the tables. This ablation regenerates that comparison.
+"""
+
+from conftest import emit
+
+from repro.experiments import render_table
+from repro.experiments.ablations import partial_vs_full_filtering
+
+
+def bench_partial_vs_full(benchmark, settings, results_dir):
+    rows = benchmark.pedantic(
+        lambda: partial_vs_full_filtering(settings), rounds=1, iterations=1
+    )
+    text = render_table(
+        rows,
+        title="Ablation: full vs partial random filtering (fractions of full FRaC)",
+    )
+    emit(results_dir, "ablation_partial_filtering", text)

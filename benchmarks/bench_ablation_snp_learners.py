@@ -1,0 +1,23 @@
+"""Ablation: classifier family on discrete SNP data (paper §III-B).
+
+The paper chose decision trees for SNP data after finding SVMs slower and
+less accurate there. This bench re-runs the comparison (tree vs naive
+Bayes vs kNN vs linear SVC) inside a random-filter FRaC on the
+schizophrenia stand-in.
+"""
+
+from conftest import emit
+
+from repro.experiments import render_table
+from repro.experiments.ablations import snp_learner_comparison
+
+
+def bench_snp_learners(benchmark, settings, results_dir):
+    rows = benchmark.pedantic(
+        lambda: snp_learner_comparison(settings), rounds=1, iterations=1
+    )
+    text = render_table(
+        rows,
+        title="Ablation: classifier family on SNP data (random-filter FRaC, p=0.1)",
+    )
+    emit(results_dir, "ablation_snp_learners", text)

@@ -1,0 +1,21 @@
+"""FRaC vs the competing detectors (LOF, one-class SVM, marginals).
+
+The paper's introduction rests on prior findings that FRaC "is more robust
+to irrelevant variables than top competing methods such as local outlier
+factor or one-class support vector machines". The synthetic compendium's
+anomalies break inter-feature relationships while preserving marginals, so
+the gap should be large.
+"""
+
+from conftest import emit
+
+from repro.experiments import render_table
+from repro.experiments.ablations import frac_vs_baselines
+
+
+def bench_baselines(benchmark, settings, results_dir):
+    rows = benchmark.pedantic(
+        lambda: frac_vs_baselines(settings), rounds=1, iterations=1
+    )
+    text = render_table(rows, title="FRaC vs baseline anomaly detectors (AUC)")
+    emit(results_dir, "baselines", text)

@@ -1,0 +1,24 @@
+"""Figure 1: the wiring diagram of the FRaC variants.
+
+The paper's Figure 1 shows, for an eight-feature example, which features
+feed which predictors under ordinary FRaC, full filtering, partial
+filtering, and diverse FRaC. This bench fits each variant on an
+eight-feature toy set and renders the fitted wiring ('T' target, 'x'
+input, '.' unused) — the same content, extracted from real fitted models.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig1_structure
+
+
+def bench_fig1(benchmark, settings, results_dir):
+    wiring = benchmark.pedantic(
+        lambda: fig1_structure(n_features=8, n_samples=32, rng=0),
+        rounds=1,
+        iterations=1,
+    )
+    blocks = []
+    for name, lines in wiring.items():
+        blocks.append(name + "\n" + "\n".join("  " + line for line in lines))
+    emit(results_dir, "fig1_structure", "Figure 1: variant wiring\n\n" + "\n\n".join(blocks))

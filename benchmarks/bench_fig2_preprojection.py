@@ -1,0 +1,22 @@
+"""Figure 2: the 1-hot + concatenation + JL worked example, verbatim.
+
+Reruns the paper's example datum (3.4, 0, -2, 0.6, 1, 2) over the schema
+(R, R, R, R, {0,1,2}, {0,1,2,3}) through the 11 -> 4 JL pipeline.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig2_preprojection
+
+
+def bench_fig2(benchmark, settings, results_dir):
+    out = benchmark.pedantic(lambda: fig2_preprojection(rng=0), rounds=1, iterations=1)
+    lines = [
+        "Figure 2: preprojection worked example",
+        f"Feature schema:      {out['schema']}",
+        f"Data:                {out['datum']}",
+        f"1-hot + concat:      {out['one_hot_concatenated']}",
+        f"JL transform:        apply {out['jl_shape'][0]} x {out['jl_shape'][1]} random linear map",
+        f"Result:              {[round(v, 3) for v in out['projected']]}",
+    ]
+    emit(results_dir, "fig2_preprojection", "\n".join(lines))

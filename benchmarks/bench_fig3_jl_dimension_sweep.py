@@ -1,0 +1,29 @@
+"""Figure 3: JL AUC on schizophrenia vs projected dimension.
+
+Ten independent projections per dimension on the fixed schizophrenia
+split; mean +- std AUC per point. Paper shape: AUC rises with dimension
+(0.55 at 1024 -> 0.64 at 4096) and stays far below the entropy filter's
+1.0 — JL mixes the ancestry markers into every component.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig3_sweep, render_ascii_series, render_table
+
+PAPER_SERIES = "Paper Fig. 3: AUC 0.55 (0.08) @1024, 0.63 (0.09) @2048, 0.64 (0.08) @4096"
+
+
+def bench_fig3(benchmark, settings, results_dir):
+    rows = benchmark.pedantic(
+        lambda: fig3_sweep(settings, n_projections=10),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(
+        [
+            render_table(rows, title="Figure 3: JL dimension sweep (schizophrenia)"),
+            render_ascii_series(rows, "scaled_dim", "auc", title="AUC vs projected dimension"),
+            PAPER_SERIES,
+        ]
+    )
+    emit(results_dir, "fig3_jl_dimension_sweep", text)

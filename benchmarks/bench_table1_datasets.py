@@ -1,0 +1,30 @@
+"""Table I: data-set geometry (features / normal / anomaly counts).
+
+At full scale this reprints the paper's Table I verbatim from the
+registry; at the bench scale it reports the geometry every other bench
+actually instantiates.
+"""
+
+from conftest import emit
+
+from repro.experiments import render_table
+from repro.data.compendium import table1_rows
+
+
+def bench_table1(benchmark, settings, results_dir):
+    rows_paper = table1_rows()  # scale 1.0: the paper's numbers
+    rows_bench = benchmark.pedantic(
+        lambda: table1_rows(scale=settings.scale, sample_scale=settings.sample_scale),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(
+        [
+            render_table(rows_paper, title="Table I (paper scale)"),
+            render_table(
+                rows_bench,
+                title=f"Table I (bench scale = {settings.scale:.5f})",
+            ),
+        ]
+    )
+    emit(results_dir, "table1_datasets", text)

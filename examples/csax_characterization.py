@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Characterizing *why* a sample is anomalous: the CSAX loop.
+
+The paper positions FRaC as the core of CSAX (Noto et al. 2015), which
+identifies anomalies and *explains* them: bootstrap several FRaC runs,
+rank each test sample's features by their (stabilized) NS contribution,
+and test which annotated gene sets are enriched among the top-ranked
+features. Here the planted gene modules of the synthetic compendium play
+the role of annotated pathways — so the explanation can be checked against
+ground truth.
+
+Run:  python examples/csax_characterization.py        (~1 minute)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FRaCConfig
+from repro.csax import BootstrapFRaC, characterize_sample
+from repro.eval import auc_permutation_test
+
+
+def main() -> None:
+    # Per-pathway dysregulation: each anomalous sample decouples ONE of
+    # eight gene modules (disrupt_mode="module"), the regime CSAX explains.
+    from repro.data import ExpressionConfig, make_expression_dataset
+
+    config_data = ExpressionConfig(
+        n_features=160,
+        n_normal=80,
+        n_anomaly=12,
+        n_modules=8,
+        module_size=12,
+        disrupt_fraction=1 / 8,      # one module per anomaly
+        disrupt_mode="module",
+        name="pathway-demo",
+    )
+    dataset = make_expression_dataset(config_data, rng=0)
+    from repro.data import module_gene_sets
+
+    gene_sets = module_gene_sets(dataset)
+    print(f"Data: {dataset}")
+    print(f"Annotated sets: {[f'{k} ({len(v)} genes)' for k, v in gene_sets.items()]}")
+
+    config = FRaCConfig()  # paper expression setting: linear SVR
+    detector = BootstrapFRaC(n_runs=5, config=config, rng=0)
+    detector.fit(dataset.normals().x, dataset.schema)
+
+    anomalies = dataset.anomalies()
+    scores = detector.bootstrap_scores(anomalies.x[:3])
+
+    print("\nIs the anomaly score significant? (label permutation test)")
+    all_scores = detector.score(dataset.x)
+    res = auc_permutation_test(dataset.is_anomaly, all_scores, n_permutations=300, rng=1)
+    print(
+        f"  AUC {res.auc:.3f}; permutation p = {res.p_value:.4f} "
+        f"(null {res.null_mean:.2f} +- {res.null_std:.2f})"
+    )
+
+    print("\nPer-sample characterization (top enriched gene sets):")
+    med_ranks = scores.median_ranks()
+    truth = dataset.metadata["disrupted_modules"]
+    for s in range(3):
+        ranking = scores.feature_ids[np.argsort(med_ranks[s])]
+        enrichments = characterize_sample(
+            ranking, gene_sets, n_top=15, n_features=dataset.n_features
+        )
+        best = enrichments[0]
+        print(
+            f"  anomaly #{s}: {best.set_name} "
+            f"({best.n_hits}/15 top features, p = {best.p_value:.2g}; "
+            f"planted: module-{truth[s][0]})"
+        )
+    print(
+        "\nEach anomalous sample's dysregulation concentrates in the planted"
+        "\nmodules - the CSAX-style molecular explanation of the anomaly."
+    )
+
+
+if __name__ == "__main__":
+    main()

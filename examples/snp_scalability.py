@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""SNP-scale anomaly detection: the schizophrenia scenario (paper §III-IV).
+
+The full schizophrenia data set (171,763 ternary SNPs) cannot be run with
+full FRaC at all — the paper extrapolates ~44,000 CPU hours. This example
+reruns the paper's Table V study at reduced scale:
+
+1. entropy filtering at 5% — keeps the high-entropy ancestry-informative
+   markers and separates the confounded cohorts almost perfectly;
+2. a 10-member random-filter ensemble — finds real (diluted) signal;
+3. JL pre-projection — weak on discrete data, improving with dimension;
+
+then reproduces the paper's enrichment analysis: are the most predictive
+per-SNP models enriched for planted disease/ancestry features?
+
+Run:  python examples/snp_scalability.py        (~1-2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FRaCConfig, FilteredFRaC, JLFRaC, random_filter_ensemble
+from repro.data import load_dataset, schizophrenia_split
+from repro.eval import auc_score, enrichment_of_top_models
+
+
+def main() -> None:
+    dataset = load_dataset("schizophrenia", scale=1 / 128, sample_scale=0.5, rng=0)
+    replicate = schizophrenia_split(dataset)
+    print(f"Data: {replicate}")
+    config = FRaCConfig(
+        regressor="tree_regressor",
+        classifier="tree",
+        classifier_params={"max_depth": 6},
+        regressor_params={"max_depth": 6},
+    )
+
+    print("\nScalable variants on the confounded SNP cohort (paper Table V):")
+    detectors = {
+        "entropy filter (p=0.05)": FilteredFRaC(
+            p=0.05, method="entropy", config=config, rng=1
+        ),
+        "random filter ensemble": random_filter_ensemble(
+            p=0.05, n_members=10, config=config, rng=1
+        ),
+        "JL (k=10)": JLFRaC(n_components=10, config=config, rng=1),
+        "JL (k=40)": JLFRaC(n_components=40, config=config, rng=1),
+    }
+    for name, det in detectors.items():
+        det.fit(replicate.x_train, replicate.schema)
+        auc = auc_score(replicate.y_test, det.score(replicate.x_test))
+        print(f"  {name:26s} AUC {auc:.3f}   cpu {det.resources.cpu_seconds:6.2f}s")
+    print(
+        "  (paper: entropy 1.00, random ensemble 0.86, JL 0.55 -> 0.64 "
+        "with rising dimension)"
+    )
+
+    print("\nEnrichment of the most predictive SNP models (paper §IV):")
+    single = FilteredFRaC(p=0.3, config=config, rng=2)
+    single.fit(replicate.x_train, replicate.schema)
+    ranked = single.model_quality()[:, 0].astype(int)
+    planted = np.concatenate(
+        [dataset.metadata["relevant_features"], dataset.metadata["ancestry_features"]]
+    )
+    hits, p_value = enrichment_of_top_models(
+        ranked, planted, n_top=20, n_pool=dataset.n_features
+    )
+    print(
+        f"  {hits} of the top 20 models sit in planted disease/ancestry blocks "
+        f"({len(planted)} of {dataset.n_features} features are planted);"
+    )
+    print(f"  hypergeometric P(X >= {hits}) = {p_value:.4f}")
+    print(
+        "  (the paper finds 2 known schizophrenia genes in its top 20 models, "
+        "hypergeometric p ~ 0.01)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro: a reproduction of "Scalable FRaC Variants: Anomaly Detection for
+Precision Medicine" (Cousins, Pietras & Slonim, IPPS 2017).
+
+The package implements the FRaC anomaly detector (normalized surprisal via
+per-feature predictive models) and the paper's scalable variants — full and
+partial filtering (random / entropy), diverse FRaC, ensembles, and
+Johnson-Lindenstrauss pre-projection — together with every substrate they
+need: from-scratch linear SVMs and CART trees, Gaussian/confusion error
+models, KDE entropy estimation, JL transforms, baselines (LOF, one-class
+SVM), a synthetic compendium matching the paper's data-set geometry, a
+parallel per-feature execution runtime, and the benchmark harness that
+regenerates each of the paper's tables and figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FRaC, FRaCConfig, load_replicates
+    from repro.eval import auc_score
+
+    rep = load_replicates("breast.basal", scale=0.02, rng=0)[0]
+    frac = FRaC(FRaCConfig.fast(), rng=0).fit(rep.x_train, rep.schema)
+    print(auc_score(rep.y_test, frac.score(rep.x_test)))
+"""
+
+from repro.core import (
+    AnomalyDetector,
+    ContributionMatrix,
+    DiverseFRaC,
+    FilteredFRaC,
+    FRaC,
+    FRaCConfig,
+    FRaCEnsemble,
+    JLFRaC,
+    diverse_ensemble,
+    random_filter_ensemble,
+)
+from repro.data import (
+    COMPENDIUM,
+    Dataset,
+    FeatureKind,
+    FeatureSchema,
+    FeatureSpec,
+    Replicate,
+    load_dataset,
+    load_replicates,
+)
+from repro.eval import auc_score, evaluate_on_replicates
+from repro.persistence import load_detector, save_detector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FRaC",
+    "FRaCConfig",
+    "AnomalyDetector",
+    "ContributionMatrix",
+    "FilteredFRaC",
+    "DiverseFRaC",
+    "FRaCEnsemble",
+    "JLFRaC",
+    "random_filter_ensemble",
+    "diverse_ensemble",
+    "Dataset",
+    "Replicate",
+    "FeatureSchema",
+    "FeatureSpec",
+    "FeatureKind",
+    "COMPENDIUM",
+    "load_dataset",
+    "load_replicates",
+    "auc_score",
+    "evaluate_on_replicates",
+    "save_detector",
+    "load_detector",
+]

@@ -1,0 +1,7 @@
+"""Competing anomaly detectors the paper compares FRaC against."""
+
+from repro.baselines.lof import LOFDetector
+from repro.baselines.marginal import MahalanobisDetector, ZScoreDetector
+from repro.baselines.ocsvm import OneClassSVM
+
+__all__ = ["LOFDetector", "OneClassSVM", "ZScoreDetector", "MahalanobisDetector"]

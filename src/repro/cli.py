@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 --scale 0.0078 --replicates 5
+    python -m repro table3 --scale 0.004 --replicates 2
+    python -m repro table5
+    python -m repro fig1
+    python -m repro fig2
+    python -m repro fig3 --projections 10
+    python -m repro datasets            # list the compendium
+
+The heavy tables honour ``--scale`` / ``--samples`` / ``--replicates`` so a
+laptop run can trade fidelity for time (see README "Reproducing the
+paper").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.compendium import COMPENDIUM, table1_rows
+from repro.experiments import (
+    StudySettings,
+    average_fractions,
+    fig1_structure,
+    fig2_preprojection,
+    fig3_sweep,
+    render_ascii_series,
+    render_table,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+
+def _settings(args: argparse.Namespace) -> StudySettings:
+    return StudySettings(
+        scale=args.scale,
+        sample_scale=args.samples,
+        n_replicates=args.replicates,
+        seed=args.seed,
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> str:
+    rows = [
+        {
+            "data set": e.name,
+            "kind": e.kind,
+            "features": e.paper_features,
+            "normal": e.paper_normal,
+            "anomaly": e.paper_anomaly,
+            "paper full AUC": e.paper_full_auc,
+        }
+        for e in COMPENDIUM.values()
+    ]
+    return render_table(rows, title="The compendium (paper Table I geometry)")
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    return render_table(
+        table1_rows(scale=args.scale, sample_scale=args.samples),
+        title=f"Table I at scale={args.scale}",
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    return render_table(table2(_settings(args)), title="Table II: full FRaC")
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    rows = table3(_settings(args))
+    return "\n\n".join(
+        [
+            render_table(rows, title="Table III: filter/JL/entropy fractions"),
+            render_table(average_fractions(rows), title="Averages"),
+        ]
+    )
+
+
+def _cmd_table4(args: argparse.Namespace) -> str:
+    rows = table4(_settings(args))
+    return "\n\n".join(
+        [
+            render_table(rows, title="Table IV: diverse fractions"),
+            render_table(average_fractions(rows), title="Averages"),
+        ]
+    )
+
+
+def _cmd_table5(args: argparse.Namespace) -> str:
+    return render_table(table5(_settings(args)), title="Table V: schizophrenia")
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    blocks = []
+    for name, lines in fig1_structure(rng=args.seed).items():
+        blocks.append(name + "\n" + "\n".join("  " + l for l in lines))
+    return "Figure 1: variant wiring\n\n" + "\n\n".join(blocks)
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    out = fig2_preprojection(rng=args.seed)
+    return "\n".join(
+        [
+            "Figure 2: preprojection worked example",
+            f"schema:  {out['schema']}",
+            f"datum:   {out['datum']}",
+            f"1-hot:   {out['one_hot_concatenated']}",
+            f"JL:      {out['jl_shape'][0]} x {out['jl_shape'][1]} random map",
+            f"result:  {[round(v, 3) for v in out['projected']]}",
+        ]
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.experiments.report import build_report, write_report
+
+    if args.output:
+        path = write_report(_settings(args), args.output,
+                            fig3_projections=args.projections)
+        return f"report written to {path}"
+    return build_report(_settings(args), fig3_projections=args.projections)
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    rows = fig3_sweep(_settings(args), n_projections=args.projections)
+    return "\n\n".join(
+        [
+            render_table(rows, title="Figure 3: JL dimension sweep"),
+            render_ascii_series(rows, "scaled_dim", "auc", title="AUC vs dimension"),
+        ]
+    )
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "report": _cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate artifacts of 'Scalable FRaC Variants' (IPPS 2017).",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="artifact to regenerate")
+    from repro.experiments.settings import DEFAULT_BENCH_SCALE
+
+    parser.add_argument("--scale", type=float, default=DEFAULT_BENCH_SCALE,
+                        help="feature-scale factor vs the paper (default 1/64)")
+    parser.add_argument("--samples", type=float, default=1.0,
+                        help="sample-scale factor (default 1.0 = paper counts)")
+    parser.add_argument("--replicates", type=int, default=5,
+                        help="replicates per data set (default 5, as the paper)")
+    parser.add_argument("--projections", type=int, default=10,
+                        help="projections per Fig-3 point (default 10)")
+    parser.add_argument("--seed", type=int, default=2017, help="root seed")
+    parser.add_argument("--output", default="", help="write the report here (report command)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log per-run progress to stderr")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.utils.logging import enable_console_logging
+
+        enable_console_logging()
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

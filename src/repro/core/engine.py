@@ -1,0 +1,172 @@
+"""The per-feature FRaC engine: cross-validated feature models.
+
+One *work item* = one (target feature, predictor slot) pair. Executing an
+item (``run_feature_task``):
+
+1. selects the training rows where the target is observed;
+2. k-fold cross-validates a fresh predictor to gather holdout
+   (prediction, truth) pairs;
+3. fits the error model (Gaussian residual / confusion matrix) on those
+   pairs;
+4. refits the predictor on all usable rows;
+5. estimates the feature's training-set entropy.
+
+Items only carry small picklable payloads (:class:`FeatureTask`); the
+training matrix travels through the executor's shared-state channel (see
+:mod:`repro.parallel.executor`), so process-mode workers inherit it via
+fork instead of pickling it per item.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import FRaCConfig
+from repro.core.types import FeatureModel
+from repro.data.schema import FeatureSchema
+from repro.errormodels.confusion import ConfusionErrorModel
+from repro.errormodels.entropy import discrete_entropy
+from repro.errormodels.gaussian import GaussianErrorModel
+from repro.errormodels.kde import GaussianKDE
+from repro.learners.registry import make_learner
+from repro.parallel.executor import get_shared
+from repro.parallel.resources import TaskCost, design_matrix_bytes, training_work_units
+from repro.utils.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class FeatureTask:
+    """Picklable description of one (feature, predictor-slot) work item."""
+
+    feature_id: int
+    input_ids: np.ndarray
+    seed: int
+    slot: int = 0
+
+
+@dataclass(frozen=True)
+class SharedTrainState:
+    """Read-only training state shared with all workers.
+
+    ``x_imputed`` has every entry finite (model *inputs*); ``x_targets``
+    keeps missing entries as NaN so target reads respect missingness. Both
+    are in standardized units when the config says so.
+    """
+
+    x_imputed: np.ndarray
+    x_targets: np.ndarray
+    schema: FeatureSchema
+    config: FRaCConfig
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Seeded k-fold split of ``range(n)`` into (train, holdout) pairs."""
+    if n < 2:
+        raise DataError(f"cannot cross-validate {n} samples")
+    k = max(2, min(k, n))
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = []
+    for i in range(k):
+        holdout = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, holdout))
+    return out
+
+
+def _make_predictor(name: str, params: dict, seed: int):
+    """Instantiate a learner, injecting the task seed when supported."""
+    try:
+        return make_learner(name, **{**params, "seed": seed})
+    except TypeError:
+        return make_learner(name, **params)
+
+
+def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None":
+    """Execute one work item against the executor-shared training state.
+
+    Returns ``None`` when the feature cannot support a model (too few
+    observed values); the caller simply drops it from the NS sum, which is
+    the "otherwise: 0" branch of the NS definition applied at train time.
+    """
+    shared: SharedTrainState = get_shared()
+    cfg = shared.config
+    start = time.process_time()
+
+    target_col = shared.x_targets[:, task.feature_id]
+    rows = np.flatnonzero(~np.isnan(target_col))
+    if len(rows) < cfg.min_observed:
+        return None
+    y = target_col[rows]
+    input_ids = np.asarray(task.input_ids, dtype=np.intp)
+    x_in = shared.x_imputed[np.ix_(rows, input_ids)]
+
+    spec = shared.schema[task.feature_id]
+    rng = np.random.default_rng(task.seed)
+    learner_seed = int(rng.integers(0, 2**31 - 1))
+    if spec.is_categorical:
+        make = lambda: _make_predictor(cfg.classifier, dict(cfg.classifier_params), learner_seed)
+        error_model = ConfusionErrorModel(spec.arity, smoothing=cfg.confusion_smoothing)
+        entropy = discrete_entropy(y, arity=spec.arity)
+    else:
+        make = lambda: _make_predictor(cfg.regressor, dict(cfg.regressor_params), learner_seed)
+        error_model = GaussianErrorModel(sigma_floor=cfg.sigma_floor)
+        entropy = GaussianKDE().fit(y).entropy()
+
+    # Cross-validation pass: gather holdout (prediction, truth) pairs.
+    preds = np.empty(len(rows))
+    folds = kfold_indices(len(rows), cfg.n_folds, rng)
+    for train_idx, holdout_idx in folds:
+        model = make()
+        model.fit(x_in[train_idx], y[train_idx])
+        preds[holdout_idx] = model.predict(x_in[holdout_idx])
+    error_model.fit(preds, y)
+    cv_mean_surprisal = float(error_model.surprisal(preds, y).mean())
+
+    # Final predictor: refit on every usable row.
+    predictor = make().fit(x_in, y)
+
+    cost = TaskCost(
+        cpu_seconds=time.process_time() - start,
+        design_bytes=design_matrix_bytes(len(rows), max(len(input_ids), 1)),
+        model_bytes=int(getattr(predictor, "model_nbytes", 0)) + error_model.model_nbytes,
+        work_units=training_work_units(len(folds) + 1, len(rows), len(input_ids)),
+    )
+    return (
+        FeatureModel(
+            feature_id=task.feature_id,
+            input_ids=input_ids,
+            predictor=predictor,
+            error_model=error_model,
+            entropy=entropy,
+            cv_mean_surprisal=cv_mean_surprisal,
+        ),
+        cost,
+    )
+
+
+def score_contributions(
+    models: list[FeatureModel],
+    x_test_imputed: np.ndarray,
+    x_test_targets: np.ndarray,
+) -> np.ndarray:
+    """NS contribution matrix ``(n_test, n_models)`` for fitted models.
+
+    Missing test targets contribute exactly zero (the NS definition's
+    "otherwise" branch).
+    """
+    n = x_test_imputed.shape[0]
+    out = np.zeros((n, len(models)))
+    for t, fm in enumerate(models):
+        truths = x_test_targets[:, fm.feature_id]
+        observed = ~np.isnan(truths)
+        if not observed.any():
+            continue
+        preds = fm.predictor.predict(x_test_imputed[np.ix_(observed, fm.input_ids)])
+        out[observed, t] = fm.error_model.surprisal(preds, truths[observed]) - fm.entropy
+    return out

@@ -1,0 +1,81 @@
+"""Missing-value imputation and feature standardization.
+
+FRaC itself treats a *missing test target* as a zero NS contribution, but
+predictors need finite *inputs*, so missing input entries are imputed from
+training statistics: column mean for real features, column mode for
+categorical ones. Continuous columns are optionally standardized with
+training mean/std — NS is invariant under affine per-feature rescaling
+(surprisal and entropy shift by the same ``ln a``), but the learners'
+regularization and tolerance parameters are not, so standardization keeps
+SVR hyper-parameters meaningful across features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import FeatureSchema
+from repro.utils.exceptions import DataError
+from repro.utils.validation import check_2d, check_fitted
+
+
+class Preprocessor:
+    """Fit train-set statistics; impute (and standardize) matrices."""
+
+    def __init__(self, schema: FeatureSchema, standardize: bool = True) -> None:
+        self.schema = schema
+        self.standardize = standardize
+        self.fill_: "np.ndarray | None" = None
+        self.mean_: "np.ndarray | None" = None
+        self.scale_: "np.ndarray | None" = None
+
+    def fit(self, x: np.ndarray) -> "Preprocessor":
+        x = check_2d(x, "x_train")
+        self.schema.validate_matrix(x)
+        n_features = x.shape[1]
+        fill = np.zeros(n_features)
+        mean = np.zeros(n_features)
+        scale = np.ones(n_features)
+        for j in range(n_features):
+            col = x[:, j]
+            observed = col[~np.isnan(col)]
+            if observed.size == 0:
+                raise DataError(f"feature {j} has no observed training values")
+            if self.schema[j].is_categorical:
+                codes, counts = np.unique(observed.astype(np.intp), return_counts=True)
+                fill[j] = float(codes[np.argmax(counts)])
+            else:
+                mean[j] = float(observed.mean())
+                sd = float(observed.std())
+                scale[j] = sd if sd > 0 else 1.0
+                # Fill value in *standardized* units is 0 (the mean).
+                fill[j] = 0.0 if self.standardize else mean[j]
+        self.fill_ = fill
+        self.mean_ = mean
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardized (real columns) + imputed copy of ``x``."""
+        check_fitted(self, "fill_")
+        x = check_2d(x, "x")
+        self.schema.validate_matrix(x)
+        out = x.copy()
+        real = self.schema.real_indices
+        if self.standardize and len(real):
+            out[:, real] = (out[:, real] - self.mean_[real]) / self.scale_[real]
+        missing = np.isnan(out)
+        if missing.any():
+            out[missing] = np.broadcast_to(self.fill_, out.shape)[missing]
+        return out
+
+    def transform_keep_missing(self, x: np.ndarray) -> np.ndarray:
+        """Standardize only — missing entries stay NaN (for *target* reads)."""
+        check_fitted(self, "fill_")
+        x = check_2d(x, "x")
+        self.schema.validate_matrix(x)
+        out = x.copy()
+        real = self.schema.real_indices
+        if self.standardize and len(real):
+            out[:, real] = (out[:, real] - self.mean_[real]) / self.scale_[real]
+        return out

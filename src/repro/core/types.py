@@ -1,0 +1,95 @@
+"""Core data types shared by the FRaC engine and its variants."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errormodels.base import ErrorModel
+from repro.parallel.resources import ResourceReport
+from repro.utils.exceptions import DataError
+
+
+@dataclass
+class FeatureModel:
+    """Everything FRaC keeps for one (feature, predictor) pair.
+
+    Attributes
+    ----------
+    feature_id:
+        Index of the modelled (target) feature in the caller's feature
+        space — original data-set columns for filtering/diverse variants,
+        projected components for the JL variant.
+    input_ids:
+        Indices of the features this predictor consumes.
+    predictor:
+        The fitted supervised model (refit on the full training set after
+        the CV pass, per the FRaC protocol).
+    error_model:
+        Fitted on the CV-holdout (prediction, truth) pairs.
+    entropy:
+        ``H(f_i)`` estimated from the training set (nats).
+    cv_mean_surprisal:
+        Mean surprisal of the CV holdout pairs under the fitted error
+        model; a model-quality diagnostic (low = feature is predictable).
+        Used by the interpretability report to rank predictive models.
+    """
+
+    feature_id: int
+    input_ids: np.ndarray
+    predictor: object
+    error_model: ErrorModel
+    entropy: float
+    cv_mean_surprisal: float = float("nan")
+
+
+@dataclass(frozen=True)
+class ContributionMatrix:
+    """Per-sample, per-feature NS contributions.
+
+    ``values[s, t]`` is ``-ln P(x_t | prediction) - H(f_t)`` for test sample
+    ``s`` and target slot ``t`` (zero where the test value is missing —
+    the "otherwise: 0" branch of the NS definition). ``feature_ids[t]``
+    names the feature each slot models; with multiple predictors per
+    feature the same id appears in several slots and their contributions
+    add, matching the double sum in the NS formula.
+    """
+
+    values: np.ndarray
+    feature_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 2:
+            raise DataError(f"contribution values must be 2-D; got {self.values.shape}")
+        if self.feature_ids.shape != (self.values.shape[1],):
+            raise DataError(
+                f"{self.values.shape[1]} contribution columns but "
+                f"{self.feature_ids.shape} feature ids"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        return self.values.shape[0]
+
+    def ns_scores(self) -> np.ndarray:
+        """Normalized surprisal per sample (the anomaly criterion)."""
+        return self.values.sum(axis=1)
+
+
+class AnomalyDetector(ABC):
+    """Uniform interface for FRaC, its variants, and the baselines."""
+
+    @abstractmethod
+    def fit(self, x_train: np.ndarray, schema) -> "AnomalyDetector":
+        """Train on an all-normal training matrix."""
+
+    @abstractmethod
+    def score(self, x_test: np.ndarray) -> np.ndarray:
+        """Anomaly score per test sample; higher = more anomalous."""
+
+    @property
+    def resources(self) -> ResourceReport:
+        """Cost of the last fit+score cycle (overridden by FRaC family)."""
+        return ResourceReport(cpu_seconds=0.0, memory_bytes=0)

@@ -1,0 +1,26 @@
+"""CSAX layer: bootstrapped FRaC + gene-set characterization.
+
+The paper's introduction situates FRaC inside CSAX (Noto et al., J. Comp.
+Biol. 2015), which bootstraps FRaC runs and explains individual anomalies
+via gene-set enrichment. This subpackage provides that layer on top of
+the scalable FRaC variants.
+"""
+
+from repro.csax.bootstrap import BootstrapFRaC, BootstrapScores
+from repro.csax.enrichment import (
+    SetEnrichment,
+    characterize_sample,
+    hypergeometric_set_enrichment,
+    permutation_p_value,
+    rank_enrichment_score,
+)
+
+__all__ = [
+    "BootstrapFRaC",
+    "BootstrapScores",
+    "SetEnrichment",
+    "hypergeometric_set_enrichment",
+    "rank_enrichment_score",
+    "permutation_p_value",
+    "characterize_sample",
+]

@@ -1,0 +1,143 @@
+"""The :class:`Dataset` container: a data matrix plus its schema and labels.
+
+A data set in this library mirrors the anomaly-detection setup of the FRaC
+and CSAX papers: samples are either *normal* or *anomalous* (labels are used
+only for building train/test replicates and for AUC evaluation — never for
+training, which sees normals only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import FeatureSchema
+from repro.utils.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An anomaly-detection data set.
+
+    Attributes
+    ----------
+    x:
+        ``(n_samples, n_features)`` float64 matrix. Categorical features are
+        stored as integer codes; ``NaN`` encodes a missing value.
+    schema:
+        Per-column feature descriptions.
+    is_anomaly:
+        ``(n_samples,)`` boolean array; ``True`` marks anomalous samples.
+    name:
+        Data-set identifier (e.g. ``"biomarkers"``).
+    """
+
+    x: np.ndarray
+    schema: FeatureSchema
+    is_anomaly: np.ndarray
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        x = np.ascontiguousarray(np.asarray(self.x, dtype=np.float64))
+        object.__setattr__(self, "x", x)
+        labels = np.asarray(self.is_anomaly, dtype=bool)
+        object.__setattr__(self, "is_anomaly", labels)
+        if x.ndim != 2:
+            raise DataError(f"data matrix must be 2-D, got shape {x.shape}")
+        if labels.shape != (x.shape[0],):
+            raise DataError(
+                f"labels shape {labels.shape} does not match {x.shape[0]} samples"
+            )
+        self.schema.validate_matrix(x)
+
+    # -- basic geometry -----------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def n_normal(self) -> int:
+        return int((~self.is_anomaly).sum())
+
+    @property
+    def n_anomaly(self) -> int:
+        return int(self.is_anomaly.sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the data matrix (used by the resource model)."""
+        return int(self.x.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}: {self.n_samples} samples "
+            f"({self.n_normal} normal / {self.n_anomaly} anomaly), "
+            f"{self.n_features} features)"
+        )
+
+    # -- slicing --------------------------------------------------------------
+    def select_samples(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """New data set restricted to the given sample rows."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return Dataset(
+            self.x[idx], self.schema, self.is_anomaly[idx], self.name, dict(self.metadata)
+        )
+
+    def select_features(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """New data set restricted to (and reordered by) the given columns."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return Dataset(
+            self.x[:, idx],
+            self.schema.subset(idx),
+            self.is_anomaly,
+            self.name,
+            dict(self.metadata),
+        )
+
+    def normals(self) -> "Dataset":
+        """The normal-only subset (what FRaC trains on)."""
+        return self.select_samples(np.flatnonzero(~self.is_anomaly))
+
+    def anomalies(self) -> "Dataset":
+        return self.select_samples(np.flatnonzero(self.is_anomaly))
+
+
+@dataclass(frozen=True)
+class Replicate:
+    """One train/test split in the paper's replicate protocol.
+
+    ``x_train`` contains normal samples only; ``x_test`` mixes held-out
+    normals with all anomalies, with ``y_test`` giving the anomaly labels.
+    """
+
+    x_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    schema: FeatureSchema
+    name: str = ""
+    index: int = 0
+
+    @property
+    def n_train(self) -> int:
+        return self.x_train.shape[0]
+
+    @property
+    def n_test(self) -> int:
+        return self.x_test.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.x_train.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"Replicate({self.name!r}#{self.index}: {self.n_train} train, "
+            f"{self.n_test} test, {self.n_features} features)"
+        )

@@ -1,0 +1,69 @@
+"""Gene-set collections from synthetic-compendium ground truth.
+
+CSAX-style characterization (``repro.csax``) tests anomaly rankings
+against *annotated gene sets*. With real data those come from GO/MSigDB;
+with the synthetic compendium the planted structure is the annotation —
+and, unlike real annotations, it is exactly correct, which is what makes
+the enrichment machinery testable (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.exceptions import DataError
+
+
+def module_gene_sets(dataset: Dataset, *, include_background: bool = False) -> dict[str, list[int]]:
+    """Expression data: one gene set per planted co-expression module.
+
+    ``include_background`` adds an ``"irrelevant"`` set holding the noise
+    features (useful as a negative control in enrichment tests).
+    """
+    module_of = dataset.metadata.get("module_of")
+    if module_of is None:
+        raise DataError(
+            f"data set {dataset.name!r} has no module metadata "
+            "(not an expression compendium data set?)"
+        )
+    module_of = np.asarray(module_of)
+    sets = {
+        f"module-{m}": np.flatnonzero(module_of == m).tolist()
+        for m in range(int(module_of.max()) + 1)
+    }
+    if include_background:
+        sets["irrelevant"] = np.flatnonzero(module_of < 0).tolist()
+    return sets
+
+
+def block_gene_sets(dataset: Dataset, *, roles_only: bool = True) -> dict[str, list[int]]:
+    """SNP data: gene sets for the planted disease/ancestry blocks.
+
+    With ``roles_only`` (default) only the special roles are returned —
+    ``"disease"`` (LD-broken blocks) and ``"ancestry"`` (confound blocks);
+    otherwise every LD block becomes its own set.
+    """
+    block_of = dataset.metadata.get("block_of")
+    if block_of is None:
+        raise DataError(
+            f"data set {dataset.name!r} has no block metadata "
+            "(not a SNP compendium data set?)"
+        )
+    sets: dict[str, list[int]] = {}
+    relevant = dataset.metadata.get("relevant_features")
+    ancestry = dataset.metadata.get("ancestry_features")
+    if relevant is not None and len(relevant):
+        sets["disease"] = np.asarray(relevant).tolist()
+    if ancestry is not None and len(ancestry):
+        sets["ancestry"] = np.asarray(ancestry).tolist()
+    if not roles_only:
+        block_of = np.asarray(block_of)
+        for blk in range(int(block_of.max()) + 1):
+            sets[f"block-{blk}"] = np.flatnonzero(block_of == blk).tolist()
+    if not sets:
+        raise DataError(
+            f"data set {dataset.name!r} has no planted gene sets "
+            "(the autism configuration plants none, by design)"
+        )
+    return sets

@@ -1,0 +1,96 @@
+"""Replicate construction following the paper's protocol (§III-A).
+
+"For each data set except schizophrenia, we construct five replicates. Each
+replicate consists of a training set containing a randomly selected
+two-thirds of the normal samples. The test set consists of the remaining
+normal samples as well as all non-normal samples."
+
+The schizophrenia data set instead uses a fixed, single train/test split
+(HapMap controls train; a disjoint cohort tests) — see
+:func:`fixed_split_replicate`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Replicate
+from repro.utils.exceptions import DataError
+from repro.utils.rng import spawn_generators
+
+
+def make_replicate(
+    dataset: Dataset,
+    *,
+    train_fraction: float = 2.0 / 3.0,
+    rng: "int | np.random.Generator | None" = None,
+    index: int = 0,
+) -> Replicate:
+    """Build one train/test replicate from a labelled data set."""
+    if not 0.0 < train_fraction < 1.0:
+        raise DataError(f"train_fraction must lie in (0, 1); got {train_fraction}")
+    gen = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+    normal_idx = np.flatnonzero(~dataset.is_anomaly)
+    anomaly_idx = np.flatnonzero(dataset.is_anomaly)
+    if len(normal_idx) < 3:
+        raise DataError(
+            f"data set {dataset.name!r} has only {len(normal_idx)} normal samples; "
+            "need at least 3 to split"
+        )
+    n_train = max(1, int(round(train_fraction * len(normal_idx))))
+    if n_train >= len(normal_idx):
+        n_train = len(normal_idx) - 1
+    perm = gen.permutation(normal_idx)
+    train_idx = np.sort(perm[:n_train])
+    heldout_idx = np.sort(perm[n_train:])
+    test_idx = np.concatenate([heldout_idx, anomaly_idx])
+    return Replicate(
+        x_train=dataset.x[train_idx],
+        x_test=dataset.x[test_idx],
+        y_test=dataset.is_anomaly[test_idx],
+        schema=dataset.schema,
+        name=dataset.name,
+        index=index,
+    )
+
+
+def make_replicates(
+    dataset: Dataset,
+    n_replicates: int = 5,
+    *,
+    train_fraction: float = 2.0 / 3.0,
+    rng: "int | np.random.Generator | None" = None,
+) -> list[Replicate]:
+    """Build the paper's five (by default) independent replicates."""
+    if n_replicates < 1:
+        raise DataError(f"n_replicates must be >= 1; got {n_replicates}")
+    gens = spawn_generators(rng, n_replicates)
+    return [
+        make_replicate(dataset, train_fraction=train_fraction, rng=g, index=i)
+        for i, g in enumerate(gens)
+    ]
+
+
+def fixed_split_replicate(
+    train: Dataset, test: Dataset, *, name: str = "", index: int = 0
+) -> Replicate:
+    """Replicate from a pre-defined split (the schizophrenia protocol).
+
+    ``train`` must be all-normal; ``test`` supplies its own labels. Both must
+    share a schema.
+    """
+    if train.n_anomaly:
+        raise DataError(
+            f"fixed training set contains {train.n_anomaly} anomalous samples; "
+            "FRaC trains on normals only"
+        )
+    if train.schema != test.schema:
+        raise DataError("train and test schemas differ")
+    return Replicate(
+        x_train=train.x,
+        x_test=test.x,
+        y_test=test.is_anomaly,
+        schema=train.schema,
+        name=name or train.name,
+        index=index,
+    )

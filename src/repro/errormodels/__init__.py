@@ -1,0 +1,24 @@
+"""Error models and entropy estimators for the NS score."""
+
+from repro.errormodels.base import ErrorModel
+from repro.errormodels.confusion import ConfusionErrorModel
+from repro.errormodels.entropy import (
+    dataset_entropies,
+    differential_entropy,
+    discrete_entropy,
+    feature_entropy,
+)
+from repro.errormodels.gaussian import GaussianErrorModel
+from repro.errormodels.kde import GaussianKDE, silverman_bandwidth
+
+__all__ = [
+    "ErrorModel",
+    "GaussianErrorModel",
+    "ConfusionErrorModel",
+    "GaussianKDE",
+    "silverman_bandwidth",
+    "discrete_entropy",
+    "differential_entropy",
+    "feature_entropy",
+    "dataset_entropies",
+]

@@ -1,0 +1,33 @@
+"""Error-model interface.
+
+FRaC converts a predictor's output into a probability of the *observed*
+value via an error model estimated from cross-validation (prediction,
+truth) pairs: a Gaussian over residuals for continuous features, a
+confusion matrix for categorical ones (paper §I-A1). The quantity FRaC
+consumes is the *surprisal* ``-log P(truth | prediction)``; natural
+logarithms are used everywhere in this library (entropies included), so
+surprisal and entropy subtract coherently in the NS score.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ErrorModel(ABC):
+    """Estimates ``P(observed value | predicted value)``."""
+
+    @abstractmethod
+    def fit(self, predictions: np.ndarray, truths: np.ndarray) -> "ErrorModel":
+        """Fit from holdout (prediction, truth) pairs."""
+
+    @abstractmethod
+    def surprisal(self, predictions: np.ndarray, truths: np.ndarray) -> np.ndarray:
+        """``-ln P(truth_i | prediction_i)`` per element (vectorized)."""
+
+    @property
+    def model_nbytes(self) -> int:
+        """Approximate bytes of fitted state (resource-model hook)."""
+        return 0

@@ -1,0 +1,70 @@
+"""Confusion-matrix error model for categorical features.
+
+Counts holdout (prediction, truth) pairs into an ``arity x arity`` matrix
+with additive (Laplace) smoothing; ``P(truth | prediction)`` is the
+row-normalized count. Smoothing keeps every cell strictly positive, so
+surprisal is always finite — an unseen (prediction, truth) combination is
+*very* surprising, not infinitely so, matching the original FRaC release.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errormodels.base import ErrorModel
+from repro.utils.exceptions import DataError, FitError
+from repro.utils.validation import check_consistent_length, check_fitted
+
+
+class ConfusionErrorModel(ErrorModel):
+    """Smoothed confusion matrix over ``arity`` categories.
+
+    Parameters
+    ----------
+    arity:
+        Number of categories of the modelled feature.
+    smoothing:
+        Additive pseudo-count per cell (must be positive).
+    """
+
+    def __init__(self, arity: int, smoothing: float = 1.0) -> None:
+        if arity < 2:
+            raise DataError(f"arity must be >= 2; got {arity}")
+        if smoothing <= 0:
+            raise DataError(f"smoothing must be positive; got {smoothing}")
+        self.arity = int(arity)
+        self.smoothing = float(smoothing)
+        self.log_prob_: "np.ndarray | None" = None  # (arity, arity): [pred, truth]
+        self.counts_: "np.ndarray | None" = None
+
+    def _codes(self, values: np.ndarray, name: str) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        codes = np.rint(arr).astype(np.intp)
+        # A prediction is produced by a classifier over the same codes, so
+        # out-of-range values indicate a wiring bug, not bad data.
+        if codes.size and (codes.min() < 0 or codes.max() >= self.arity):
+            raise DataError(f"{name} contains codes outside [0, {self.arity})")
+        return codes
+
+    def fit(self, predictions: np.ndarray, truths: np.ndarray) -> "ConfusionErrorModel":
+        pred = self._codes(predictions, "predictions")
+        true = self._codes(truths, "truths")
+        check_consistent_length(pred, true)
+        if pred.size == 0:
+            raise FitError("cannot fit a confusion error model on zero holdout pairs")
+        counts = np.zeros((self.arity, self.arity), dtype=np.float64)
+        np.add.at(counts, (pred, true), 1.0)
+        self.counts_ = counts
+        smoothed = counts + self.smoothing
+        self.log_prob_ = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        return self
+
+    def surprisal(self, predictions: np.ndarray, truths: np.ndarray) -> np.ndarray:
+        check_fitted(self, "log_prob_")
+        pred = self._codes(predictions, "predictions")
+        true = self._codes(truths, "truths")
+        return -self.log_prob_[pred, true]
+
+    @property
+    def model_nbytes(self) -> int:
+        return 0 if self.log_prob_ is None else int(self.log_prob_.nbytes)

@@ -1,0 +1,55 @@
+"""Feature entropy estimation (the ``H(f_i)`` term of NS, and the ranking
+criterion of entropy filtering).
+
+Discrete features use the plug-in (maximum likelihood) estimator over
+training-set frequencies; continuous features use the differential entropy
+of a Gaussian KDE (see :mod:`repro.errormodels.kde`). All entropies are in
+nats, matching the natural-log surprisals of the error models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import FeatureSchema, FeatureSpec
+from repro.errormodels.kde import GaussianKDE
+from repro.utils.exceptions import DataError
+
+
+def discrete_entropy(values: np.ndarray, arity: "int | None" = None) -> float:
+    """Plug-in Shannon entropy (nats) of integer-coded values.
+
+    NaN entries (missing values) are ignored. ``arity`` only validates the
+    code range; zero-frequency categories contribute nothing either way.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise DataError("cannot estimate entropy from zero observed values")
+    codes = np.rint(values).astype(np.intp)
+    if arity is not None and codes.size and (codes.min() < 0 or codes.max() >= arity):
+        raise DataError(f"codes outside [0, {arity})")
+    _, counts = np.unique(codes, return_counts=True)
+    p = counts / counts.sum()
+    return float(-(p * np.log(p)).sum())
+
+
+def differential_entropy(values: np.ndarray, bandwidth: "float | None" = None) -> float:
+    """KDE-based differential entropy (nats) of real values (paper §II-A)."""
+    return GaussianKDE(bandwidth=bandwidth).fit(values).entropy()
+
+
+def feature_entropy(column: np.ndarray, spec: FeatureSpec) -> float:
+    """Entropy of one feature column according to its schema kind."""
+    if spec.is_categorical:
+        return discrete_entropy(column, arity=spec.arity)
+    return differential_entropy(column)
+
+
+def dataset_entropies(x: np.ndarray, schema: FeatureSchema) -> np.ndarray:
+    """Per-feature entropies for a whole (training) matrix."""
+    if x.shape[1] != len(schema):
+        raise DataError(
+            f"matrix has {x.shape[1]} columns but schema describes {len(schema)}"
+        )
+    return np.array([feature_entropy(x[:, j], schema[j]) for j in range(len(schema))])

@@ -1,0 +1,60 @@
+"""Gaussian residual error model for continuous features.
+
+The paper: "Error models simply fit a Gaussian to the error distribution,
+as again there is insufficient data to accurately learn a more detailed
+model." The residual is ``truth - prediction``; its fitted density is
+evaluated at the test residual, and the surprisal is the negative log of
+that density (a *differential* surprisal, pairing with differential
+entropy in the NS score).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errormodels.base import ErrorModel
+from repro.utils.exceptions import FitError
+from repro.utils.validation import check_consistent_length, check_fitted
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Floor on the fitted residual scale. A near-zero sigma (a feature that is
+#: predicted essentially perfectly in CV) would make any test deviation
+#: carry unbounded surprisal; the floor caps a single feature's influence,
+#: mirroring the regularized error models of the original FRaC release.
+SIGMA_FLOOR = 1e-6
+
+
+class GaussianErrorModel(ErrorModel):
+    """``truth - prediction ~ N(mu, sigma^2)``, fit by moments."""
+
+    def __init__(self, sigma_floor: float = SIGMA_FLOOR) -> None:
+        if sigma_floor <= 0:
+            raise ValueError(f"sigma_floor must be positive; got {sigma_floor}")
+        self.sigma_floor = float(sigma_floor)
+        self.mu_: "float | None" = None
+        self.sigma_: "float | None" = None
+
+    def fit(self, predictions: np.ndarray, truths: np.ndarray) -> "GaussianErrorModel":
+        predictions = np.asarray(predictions, dtype=np.float64).ravel()
+        truths = np.asarray(truths, dtype=np.float64).ravel()
+        check_consistent_length(predictions, truths)
+        if predictions.size == 0:
+            raise FitError("cannot fit a Gaussian error model on zero holdout pairs")
+        resid = truths - predictions
+        if not np.isfinite(resid).all():
+            raise FitError("holdout residuals contain non-finite values")
+        self.mu_ = float(resid.mean())
+        self.sigma_ = float(max(resid.std(), self.sigma_floor))
+        return self
+
+    def surprisal(self, predictions: np.ndarray, truths: np.ndarray) -> np.ndarray:
+        check_fitted(self, "sigma_")
+        predictions = np.asarray(predictions, dtype=np.float64)
+        truths = np.asarray(truths, dtype=np.float64)
+        z = (truths - predictions - self.mu_) / self.sigma_
+        return 0.5 * z * z + np.log(self.sigma_) + 0.5 * _LOG_2PI
+
+    @property
+    def model_nbytes(self) -> int:
+        return 16

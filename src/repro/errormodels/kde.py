@@ -1,0 +1,86 @@
+"""Gaussian kernel density estimation (Rosenblatt 1956).
+
+The paper estimates the differential entropy of a continuous feature by
+"fitting a Gaussian kernel density estimator to the feature values over the
+training set, and computing the differential entropy of f(x)" (§II-A). We
+use Silverman's rule-of-thumb bandwidth and estimate the entropy by the
+resubstitution (empirical-mean) estimator
+``H ~= -(1/n) sum_i ln f_hat(x_i)``, which converges to the differential
+entropy of the estimated density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import FitError
+from repro.utils.validation import check_fitted
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Bandwidth floor, for degenerate (constant or near-constant) samples.
+BANDWIDTH_FLOOR = 1e-9
+
+
+def silverman_bandwidth(values: np.ndarray) -> float:
+    """Silverman's rule of thumb: ``0.9 * min(sd, IQR/1.34) * n^{-1/5}``."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    n = values.size
+    if n < 2:
+        return BANDWIDTH_FLOOR
+    sd = float(values.std())
+    q75, q25 = np.percentile(values, [75.0, 25.0])
+    iqr = float(q75 - q25)
+    spread_candidates = [s for s in (sd, iqr / 1.34) if s > 0]
+    if not spread_candidates:
+        return BANDWIDTH_FLOOR
+    return max(0.9 * min(spread_candidates) * n ** (-0.2), BANDWIDTH_FLOOR)
+
+
+class GaussianKDE:
+    """1-D Gaussian kernel density estimate.
+
+    Parameters
+    ----------
+    bandwidth:
+        Kernel standard deviation; ``None`` selects Silverman's rule at fit
+        time.
+    """
+
+    def __init__(self, bandwidth: "float | None" = None) -> None:
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive; got {bandwidth}")
+        self.bandwidth = bandwidth
+        self.samples_: "np.ndarray | None" = None
+        self.bandwidth_: "float | None" = None
+
+    def fit(self, values: np.ndarray) -> "GaussianKDE":
+        values = np.asarray(values, dtype=np.float64).ravel()
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            raise FitError("cannot fit a KDE on zero finite values")
+        self.samples_ = values
+        self.bandwidth_ = (
+            self.bandwidth if self.bandwidth is not None else silverman_bandwidth(values)
+        )
+        return self
+
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        """Log density at query points (vectorized; O(n_query * n_train))."""
+        check_fitted(self, "samples_")
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        h = self.bandwidth_
+        z = (x[:, None] - self.samples_[None, :]) / h
+        # logsumexp over kernels, numerically stable.
+        log_kernels = -0.5 * z * z
+        m = log_kernels.max(axis=1, keepdims=True)
+        lse = m[:, 0] + np.log(np.exp(log_kernels - m).sum(axis=1))
+        return lse - np.log(self.samples_.size * h) - 0.5 * _LOG_2PI
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(self.logpdf(x))
+
+    def entropy(self) -> float:
+        """Resubstitution estimate of the differential entropy (nats)."""
+        check_fitted(self, "samples_")
+        return float(-self.logpdf(self.samples_).mean())

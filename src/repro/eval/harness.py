@@ -1,0 +1,98 @@
+"""Replicate evaluation harness.
+
+Runs a detector factory over a data set's replicates, collecting per-
+replicate AUC and resource reports, and expresses variant results as
+fractions of a full-FRaC reference — the exact quantity Tables III-V
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.types import AnomalyDetector
+from repro.data.dataset import Replicate
+from repro.eval.auc import auc_score
+from repro.eval.stats import MeanStd, mean_std
+from repro.parallel.resources import ResourceReport
+from repro.utils.exceptions import DataError
+from repro.utils.rng import spawn_seeds
+
+#: Builds one detector for (replicate index, seed).
+DetectorFactory = Callable[[int, np.random.SeedSequence], AnomalyDetector]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Per-data-set evaluation of one method across replicates."""
+
+    dataset: str
+    method: str
+    aucs: tuple[float, ...]
+    resources: tuple[ResourceReport, ...] = field(default_factory=tuple)
+
+    @property
+    def auc(self) -> MeanStd:
+        return mean_std(self.aucs)
+
+    @property
+    def mean_resources(self) -> ResourceReport:
+        if not self.resources:
+            return ResourceReport(cpu_seconds=0.0, memory_bytes=0)
+        return ResourceReport.mean(list(self.resources))
+
+    def as_fraction_of(self, full: "EvaluationResult") -> dict[str, object]:
+        """One row of Table III/IV: AUC%, Time%, Mem% vs. the full run.
+
+        AUC fraction follows the paper: mean over replicates of the ratio
+        of this method's AUC to the full run's AUC on the same replicate
+        (falling back to the ratio of means if replicate counts differ).
+        """
+        if len(self.aucs) == len(full.aucs):
+            ratios = [a / b for a, b in zip(self.aucs, full.aucs)]
+            auc_frac = mean_std(ratios)
+        else:
+            auc_frac = MeanStd(
+                mean=self.auc.mean / full.auc.mean, std=float("nan"), n=len(self.aucs)
+            )
+        cost = self.mean_resources.fraction_of(full.mean_resources)
+        return {
+            "data set": self.dataset,
+            "method": self.method,
+            "auc_fraction": auc_frac,
+            "work_fraction": cost["work_fraction"],
+            "time_fraction": cost["time_fraction"],
+            "mem_fraction": cost["mem_fraction"],
+        }
+
+
+def evaluate_on_replicates(
+    factory: DetectorFactory,
+    replicates: Sequence[Replicate],
+    *,
+    method: str = "",
+    rng: "int | np.random.Generator | None" = None,
+    collect_resources: bool = True,
+) -> EvaluationResult:
+    """Fit/score a freshly built detector on each replicate."""
+    if not replicates:
+        raise DataError("no replicates supplied")
+    seeds = spawn_seeds(rng, len(replicates))
+    aucs: list[float] = []
+    reports: list[ResourceReport] = []
+    for i, (rep, seed) in enumerate(zip(replicates, seeds)):
+        detector = factory(i, seed)
+        detector.fit(rep.x_train, rep.schema)
+        scores = detector.score(rep.x_test)
+        aucs.append(auc_score(rep.y_test, scores))
+        if collect_resources:
+            reports.append(detector.resources)
+    return EvaluationResult(
+        dataset=replicates[0].name,
+        method=method,
+        aucs=tuple(aucs),
+        resources=tuple(reports),
+    )

@@ -1,0 +1,67 @@
+"""Experiment harness: one driver per paper table/figure."""
+
+from repro.experiments.figures import fig1_structure, fig2_preprojection
+from repro.experiments.runners import (
+    ALL_METHODS,
+    EXTRA_METHODS,
+    PAPER_METHODS,
+    detector_factory,
+    make_detector,
+)
+from repro.experiments.settings import (
+    DEFAULT_BENCH_SCALE,
+    StudySettings,
+    default_study,
+    smoke_study,
+)
+from repro.experiments.study import (
+    RUNNABLE_DATASETS,
+    TABLE3_METHODS,
+    TABLE4_METHODS,
+    average_fractions,
+    extrapolate_full_cost,
+    fig3_sweep,
+    run_method_on_dataset,
+    schizophrenia_full_estimate,
+    table2,
+    table3,
+    table4,
+    table5,
+    variant_fraction_rows,
+)
+from repro.experiments.report import build_report, write_report
+from repro.experiments.shapes import ShapeCheck, run_all as run_shape_checks
+from repro.experiments.tables import render_ascii_series, render_table
+
+__all__ = [
+    "StudySettings",
+    "default_study",
+    "smoke_study",
+    "DEFAULT_BENCH_SCALE",
+    "PAPER_METHODS",
+    "EXTRA_METHODS",
+    "ALL_METHODS",
+    "make_detector",
+    "detector_factory",
+    "RUNNABLE_DATASETS",
+    "TABLE3_METHODS",
+    "TABLE4_METHODS",
+    "run_method_on_dataset",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "variant_fraction_rows",
+    "average_fractions",
+    "extrapolate_full_cost",
+    "schizophrenia_full_estimate",
+    "fig3_sweep",
+    "fig1_structure",
+    "fig2_preprojection",
+    "render_table",
+    "render_ascii_series",
+    "build_report",
+    "write_report",
+    "ShapeCheck",
+    "run_shape_checks",
+]

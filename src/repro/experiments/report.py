@@ -1,0 +1,133 @@
+"""One-command reproduction report.
+
+``build_report(settings)`` runs every table and figure driver and
+assembles a single markdown document recording measured results next to
+the paper's values — the machine-generated companion to EXPERIMENTS.md.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.data.compendium import COMPENDIUM, table1_rows
+from repro.experiments.figures import fig1_structure, fig2_preprojection
+from repro.experiments.settings import StudySettings
+from repro.experiments.study import (
+    average_fractions,
+    fig3_sweep,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.tables import render_ascii_series, render_table
+
+#: The paper's reference values, quoted inline in the report.
+PAPER_NOTES = {
+    "table2": "Paper Table II AUCs: breast.basal 0.73, biomarkers 0.88, "
+    "ethnic 0.71, bild 0.84, smokers2 0.66, hematopoiesis 0.88, autism 0.50.",
+    "table3": "Paper Table III averages: random-ens 1.02/0.078/0.007, "
+    "JL 1.00/0.040/0.092, entropy 0.95/0.007/0.009 (AUC%/time%/mem%).",
+    "table4": "Paper Table IV averages: diverse 1.01/0.346/0.641, "
+    "diverse-ens 1.02/0.365/0.543 (AUC%/time%/mem%).",
+    "table5": "Paper Table V: entropy 1.00, random-ens 0.86, "
+    "JL 0.55 -> 0.63 -> 0.64 at 1024/2048/4096 dims.",
+    "fig3": "Paper Fig. 3: 0.55 (0.08) @1024, 0.63 (0.09) @2048, 0.64 (0.08) @4096.",
+}
+
+
+def _section(title: str, body: str, note: str = "") -> str:
+    parts = [f"## {title}", "", "```", body, "```"]
+    if note:
+        parts += ["", f"> {note}"]
+    return "\n".join(parts)
+
+
+def build_report(
+    settings: StudySettings,
+    *,
+    include: "tuple[str, ...] | None" = None,
+    fig3_projections: int = 10,
+) -> str:
+    """Assemble the full reproduction report as markdown.
+
+    ``include`` restricts the artifact set (names: table1..table5, fig1,
+    fig2, fig3); default is everything.
+    """
+    include = include or ("table1", "table2", "table3", "table4", "table5",
+                          "fig1", "fig2", "fig3")
+    sections = [
+        "# Reproduction report",
+        "",
+        f"Settings: scale={settings.scale:.6g}, sample_scale={settings.sample_scale}, "
+        f"replicates={settings.n_replicates}, seed={settings.seed}.",
+        "",
+        "Cost columns: work% is the modelled operation-count fraction (the "
+        "paper-comparable 'Time %'); time% is measured CPU on this "
+        "interpreter; mem% is the analytic memory model. See EXPERIMENTS.md.",
+    ]
+
+    if "table1" in include:
+        rows = table1_rows(scale=settings.scale, sample_scale=settings.sample_scale)
+        sections.append(_section("Table I — data sets (at this scale)", render_table(rows)))
+
+    if "table2" in include:
+        rows = table2(settings)
+        for row in rows:
+            row["paper AUC"] = COMPENDIUM[row["data set"]].paper_full_auc
+        sections.append(
+            _section(
+                "Table II — full FRaC",
+                render_table(rows, columns=["data set", "auc", "paper AUC",
+                                            "time_s", "mem_bytes", "estimated"]),
+                PAPER_NOTES["table2"],
+            )
+        )
+
+    if "table3" in include:
+        rows = table3(settings)
+        body = render_table(rows) + "\n\n" + render_table(average_fractions(rows))
+        sections.append(_section("Table III — filter / JL / entropy", body, PAPER_NOTES["table3"]))
+
+    if "table4" in include:
+        rows = table4(settings)
+        body = render_table(rows) + "\n\n" + render_table(average_fractions(rows))
+        sections.append(_section("Table IV — diverse variants", body, PAPER_NOTES["table4"]))
+
+    if "table5" in include:
+        rows = table5(settings)
+        sections.append(_section("Table V — schizophrenia", render_table(rows), PAPER_NOTES["table5"]))
+
+    if "fig1" in include:
+        blocks = []
+        for name, lines in fig1_structure(rng=settings.seed).items():
+            blocks.append(name + "\n" + "\n".join("  " + l for l in lines))
+        sections.append(_section("Figure 1 — variant wiring", "\n\n".join(blocks)))
+
+    if "fig2" in include:
+        out = fig2_preprojection(rng=settings.seed)
+        body = "\n".join(
+            [
+                f"schema: {out['schema']}",
+                f"datum:  {out['datum']}",
+                f"1-hot:  {out['one_hot_concatenated']}",
+                f"JL:     {out['jl_shape'][0]} x {out['jl_shape'][1]} random map",
+                f"result: {[round(v, 3) for v in out['projected']]}",
+            ]
+        )
+        sections.append(_section("Figure 2 — preprojection example", body))
+
+    if "fig3" in include:
+        rows = fig3_sweep(settings, n_projections=fig3_projections)
+        body = render_table(rows) + "\n\n" + render_ascii_series(rows, "scaled_dim", "auc")
+        sections.append(_section("Figure 3 — JL dimension sweep", body, PAPER_NOTES["fig3"]))
+
+    return "\n\n".join(sections) + "\n"
+
+
+def write_report(settings: StudySettings, path: "str | Path", **kwargs) -> Path:
+    """Build the report and write it to ``path``."""
+    path = Path(path)
+    path.write_text(build_report(settings, **kwargs), encoding="utf-8")
+    return path

@@ -1,0 +1,145 @@
+"""Programmatic shape-target checks (the reproduction contract as code).
+
+DESIGN.md §4 lists the *shapes* that must hold for the reproduction to
+count — who wins, by roughly what factor, where behaviour changes. This
+module encodes them as named checks over the experiment drivers' row
+dicts, so the contract is testable (the integration suite runs the cheap
+deterministic ones) and auditable (the report can print them).
+
+Each check returns a :class:`ShapeCheck` with ``passed`` plus the observed
+values, never raising — callers decide what failure means at their scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """Outcome of one shape assertion."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def _rows_for(rows, method: str):
+    return [r for r in rows if r["method"] == method]
+
+
+def check_variants_cost_less(rows: "list[dict]") -> list[ShapeCheck]:
+    """Every Table III variant's modelled work and memory are < the full
+    run's on every data set (the scalability claim itself)."""
+    out = []
+    for quantity in ("work_fraction", "mem_fraction"):
+        worst = max((r[quantity] for r in rows), default=float("nan"))
+        out.append(
+            ShapeCheck(
+                name=f"variants {quantity} < 1",
+                passed=bool(worst < 1.0),
+                detail=f"max over rows = {worst:.3f}",
+            )
+        )
+    return out
+
+
+def check_entropy_cheapest(rows: "list[dict]") -> ShapeCheck:
+    """Entropy filtering is the cheapest method by modelled work (it
+    trains the same number of models as a random filter but never needs
+    ensembling)."""
+    by_method = {}
+    for r in rows:
+        by_method.setdefault(r["method"], []).append(r["work_fraction"])
+    means = {m: float(np.mean(v)) for m, v in by_method.items()}
+    cheapest = min(means, key=means.get)
+    return ShapeCheck(
+        name="entropy filtering is cheapest",
+        passed=cheapest == "entropy",
+        detail=f"mean work fractions: { {m: round(v, 4) for m, v in means.items()} }",
+    )
+
+
+def check_diverse_work_near_half(rows: "list[dict]", tolerance: float = 0.2) -> ShapeCheck:
+    """Diverse FRaC at p = 1/2 does ~half the full run's work (Table IV)."""
+    vals = [r["work_fraction"] for r in _rows_for(rows, "diverse")]
+    mean = float(np.mean(vals)) if vals else float("nan")
+    return ShapeCheck(
+        name="diverse work fraction ~ 0.5",
+        passed=bool(vals) and abs(mean - 0.5) <= tolerance,
+        detail=f"mean = {mean:.3f}",
+    )
+
+
+def check_autism_unlearnable(table2_rows: "list[dict]", slack: float = 0.12) -> ShapeCheck:
+    """Full FRaC on autism hovers at AUC 0.5 (Table II)."""
+    row = next((r for r in table2_rows if r["data set"] == "autism"), None)
+    if row is None or row["auc"] is None:
+        return ShapeCheck("autism AUC ~ 0.5", False, "autism row missing")
+    auc = row["auc"].mean
+    return ShapeCheck(
+        name="autism AUC ~ 0.5",
+        passed=abs(auc - 0.5) <= slack,
+        detail=f"AUC = {auc:.3f}",
+    )
+
+
+def check_schizophrenia_ordering(table5_rows: "list[dict]") -> ShapeCheck:
+    """Table V's ordering: entropy ~ 1.0 >= random ensemble >> JL."""
+    by = {r["method"]: r["auc"].mean for r in table5_rows}
+    entropy = by.get("entropy", float("nan"))
+    rand = by.get("random_ensemble", float("nan"))
+    jl = [v for m, v in by.items() if m.startswith("jl")]
+    ok = (
+        entropy >= 0.9
+        and entropy >= rand - 0.05
+        and bool(jl)
+        and max(jl) <= rand + 0.1
+    )
+    return ShapeCheck(
+        name="schizophrenia ordering entropy >= rand-ens > JL",
+        passed=bool(ok),
+        detail=f"entropy={entropy:.2f}, rand={rand:.2f}, jl={[round(v, 2) for v in jl]}",
+    )
+
+
+def check_fig3_improves_with_dimension(fig3_rows: "list[dict]", slack: float = 0.05) -> ShapeCheck:
+    """Fig. 3: the largest JL dimension beats the smallest (within slack)."""
+    if len(fig3_rows) < 2:
+        return ShapeCheck("fig3 rises with dimension", False, "too few points")
+    first, last = fig3_rows[0]["auc"].mean, fig3_rows[-1]["auc"].mean
+    return ShapeCheck(
+        name="fig3 rises with dimension",
+        passed=last >= first - slack,
+        detail=f"AUC {first:.3f} @first -> {last:.3f} @last",
+    )
+
+
+def run_all(
+    *,
+    table2_rows: "list[dict] | None" = None,
+    table3_rows: "list[dict] | None" = None,
+    table4_rows: "list[dict] | None" = None,
+    table5_rows: "list[dict] | None" = None,
+    fig3_rows: "list[dict] | None" = None,
+) -> list[ShapeCheck]:
+    """Run every check whose inputs were supplied."""
+    checks: list[ShapeCheck] = []
+    if table3_rows:
+        checks.extend(check_variants_cost_less(table3_rows))
+        checks.append(check_entropy_cheapest(table3_rows))
+    if table4_rows:
+        checks.append(check_diverse_work_near_half(table4_rows))
+    if table2_rows:
+        checks.append(check_autism_unlearnable(table2_rows))
+    if table5_rows:
+        checks.append(check_schizophrenia_ordering(table5_rows))
+    if fig3_rows:
+        checks.append(check_fig3_improves_with_dimension(fig3_rows))
+    return checks

@@ -1,0 +1,321 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver returns structured rows (lists of dicts) that the benchmark
+scripts render; EXPERIMENTS.md records these against the paper's values.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.data.compendium import COMPENDIUM, load_replicates
+from repro.eval.auc import auc_score
+from repro.eval.harness import EvaluationResult, evaluate_on_replicates
+from repro.eval.stats import mean_std
+from repro.experiments.runners import PAPER_METHODS, detector_factory, make_detector
+from repro.experiments.settings import StudySettings
+from repro.parallel.resources import ResourceReport
+from repro.utils.exceptions import DataError
+from repro.utils.rng import spawn_seeds
+
+def _stable_hash(text: str) -> int:
+    """Process-independent string hash (``hash()`` is salted per process,
+    which would break cross-run determinism of the seeding scheme)."""
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+
+
+#: Data sets that full FRaC can actually be run on (the paper could not run
+#: full FRaC on schizophrenia; neither do we — its Table II row is
+#: extrapolated from autism, below).
+RUNNABLE_DATASETS = (
+    "breast.basal",
+    "biomarkers",
+    "ethnic",
+    "bild",
+    "smokers2",
+    "hematopoiesis",
+    "autism",
+)
+
+
+#: Memo of completed (settings, method, dataset, ...) runs.
+_RESULT_CACHE: dict[tuple, EvaluationResult] = {}
+
+
+def run_method_on_dataset(
+    method: str,
+    dataset: str,
+    settings: StudySettings,
+    *,
+    seed_offset: int = 0,
+    **kwargs,
+) -> EvaluationResult:
+    """Evaluate one method over a data set's replicates.
+
+    The replicate split seed depends only on (settings.seed, dataset), so
+    every method sees the *same* replicates — required for the paper's
+    per-replicate AUC fractions. Completed runs are memoized (Tables II,
+    III and IV share the same full-FRaC reference runs; results are
+    deterministic functions of the key, so memoization is pure).
+    """
+    cache_key = (
+        repr(settings), method, dataset, seed_offset, tuple(sorted(kwargs.items())),
+    )
+    cached = _RESULT_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    data_seed = np.random.SeedSequence([settings.seed, _stable_hash(dataset)])
+    replicates = load_replicates(
+        dataset,
+        settings.n_replicates,
+        scale=settings.scale,
+        sample_scale=settings.sample_scale,
+        rng=np.random.default_rng(data_seed),
+    )
+    method_seed = np.random.SeedSequence(
+        [settings.seed, _stable_hash(dataset), _stable_hash(method), seed_offset]
+    )
+    result = evaluate_on_replicates(
+        detector_factory(method, dataset, settings, **kwargs),
+        replicates,
+        method=method,
+        rng=method_seed,
+    )
+    _RESULT_CACHE[cache_key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table II: full FRaC runs (+ extrapolated schizophrenia row)
+# ---------------------------------------------------------------------------
+
+def extrapolate_full_cost(
+    autism: ResourceReport,
+    *,
+    autism_features: int,
+    autism_train: int,
+    target_features: int,
+    target_train: int,
+) -> ResourceReport:
+    """The paper's Table II schizophrenia extrapolation, from autism.
+
+    Full FRaC trains one model per feature on all other features, so CPU
+    time scales ~ features^2 x training samples and retained model state
+    scales ~ features^2 (each of f models keeps O(f) state). The paper used
+    the same device ("time and memory performance for this data set were
+    estimated by extrapolation from the performance on the autism data").
+    """
+    if min(autism_features, target_features, autism_train, target_train) <= 0:
+        raise DataError("extrapolation requires positive geometry")
+    f_ratio = target_features / autism_features
+    n_ratio = target_train / autism_train
+    return ResourceReport(
+        cpu_seconds=autism.cpu_seconds * f_ratio**2 * n_ratio,
+        memory_bytes=int(autism.memory_bytes * f_ratio**2),
+        n_tasks=int(autism.n_tasks * f_ratio),
+        work_units=int(autism.work_units * f_ratio**2 * n_ratio),
+    )
+
+
+def table2(settings: StudySettings) -> list[dict[str, object]]:
+    """Full-run AUC/time/memory per data set (Table II)."""
+    rows: list[dict[str, object]] = []
+    autism_result: "EvaluationResult | None" = None
+    for dataset in RUNNABLE_DATASETS:
+        result = run_method_on_dataset("full", dataset, settings)
+        if dataset == "autism":
+            autism_result = result
+        res = result.mean_resources
+        rows.append(
+            {
+                "data set": dataset,
+                "auc": result.auc,
+                "time_s": res.cpu_seconds,
+                "mem_bytes": res.memory_bytes,
+                "estimated": False,
+            }
+        )
+    # Extrapolated schizophrenia row (italicized in the paper).
+    schiz = COMPENDIUM["schizophrenia"]
+    autism = COMPENDIUM["autism"]
+    est = extrapolate_full_cost(
+        autism_result.mean_resources,
+        autism_features=max(32, round(autism.paper_features * settings.scale)),
+        autism_train=round(autism.paper_normal * settings.sample_scale * 2 / 3),
+        target_features=max(64, round(schiz.paper_features * settings.scale)),
+        target_train=round((schiz.paper_normal - 10) * settings.sample_scale),
+    )
+    rows.append(
+        {
+            "data set": "schizophrenia",
+            "auc": None,
+            "time_s": est.cpu_seconds,
+            "mem_bytes": est.memory_bytes,
+            "estimated": True,
+        }
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Tables III & IV: variants as fractions of the full run
+# ---------------------------------------------------------------------------
+
+TABLE3_METHODS = ("random_ensemble", "jl", "entropy")
+TABLE4_METHODS = ("diverse", "diverse_ensemble")
+
+
+def variant_fraction_rows(
+    methods: tuple[str, ...], settings: StudySettings
+) -> list[dict[str, object]]:
+    """AUC/time/memory fractions vs. full FRaC on the seven runnable sets."""
+    rows: list[dict[str, object]] = []
+    for dataset in RUNNABLE_DATASETS:
+        full = run_method_on_dataset("full", dataset, settings)
+        for method in methods:
+            result = run_method_on_dataset(method, dataset, settings)
+            rows.append(result.as_fraction_of(full))
+    return rows
+
+
+def table3(settings: StudySettings) -> list[dict[str, object]]:
+    """Table III, plus one extra JL row per data set at the
+    *accuracy-faithful* dimension (see
+    :meth:`StudySettings.jl_accuracy_components`): at reduced scale the
+    paper's k = 1024 splits into a cost-faithful and an accuracy-faithful
+    surrogate; at full scale the two rows coincide."""
+    rows = []
+    for dataset in RUNNABLE_DATASETS:
+        full = run_method_on_dataset("full", dataset, settings)
+        for method in TABLE3_METHODS:
+            result = run_method_on_dataset(method, dataset, settings)
+            rows.append(result.as_fraction_of(full))
+        # The accuracy-faithful row only makes sense while the projection
+        # still reduces the dimension substantially (k <= d/2); near or
+        # above d it would cost more than full FRaC for nothing.
+        scaled_features = round(COMPENDIUM[dataset].paper_features * settings.scale)
+        k_acc = settings.jl_accuracy_components
+        if k_acc != settings.jl_components and 2 * k_acc <= scaled_features:
+            result = run_method_on_dataset("jl", dataset, settings, jl_components=k_acc)
+            row = result.as_fraction_of(full)
+            row["method"] = f"jl_k{k_acc}"
+            rows.append(row)
+    return rows
+
+
+def table4(settings: StudySettings) -> list[dict[str, object]]:
+    return variant_fraction_rows(TABLE4_METHODS, settings)
+
+
+def average_fractions(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    """The tables' "Avg" row, per method."""
+    out = []
+    for method in {r["method"] for r in rows}:
+        sub = [r for r in rows if r["method"] == method]
+        out.append(
+            {
+                "data set": "Avg",
+                "method": method,
+                "auc_fraction": mean_std([r["auc_fraction"].mean for r in sub]),
+                "work_fraction": float(np.mean([r["work_fraction"] for r in sub])),
+                "time_fraction": float(np.mean([r["time_fraction"] for r in sub])),
+                "mem_fraction": float(np.mean([r["mem_fraction"] for r in sub])),
+            }
+        )
+    return sorted(out, key=lambda r: r["method"])
+
+
+# ---------------------------------------------------------------------------
+# Table V + Figure 3: the schizophrenia study
+# ---------------------------------------------------------------------------
+
+def schizophrenia_full_estimate(settings: StudySettings) -> ResourceReport:
+    """Our own Table II extrapolation, reused as Table V's denominator."""
+    autism_result = run_method_on_dataset("full", "autism", settings)
+    schiz = COMPENDIUM["schizophrenia"]
+    autism = COMPENDIUM["autism"]
+    return extrapolate_full_cost(
+        autism_result.mean_resources,
+        autism_features=max(32, round(autism.paper_features * settings.scale)),
+        autism_train=round(autism.paper_normal * settings.sample_scale * 2 / 3),
+        target_features=max(64, round(schiz.paper_features * settings.scale)),
+        target_train=round((schiz.paper_normal - 10) * settings.sample_scale),
+    )
+
+
+def table5(
+    settings: StudySettings, *, full_estimate: "ResourceReport | None" = None
+) -> list[dict[str, object]]:
+    """Schizophrenia: entropy filter, random ensemble, JL at 1024/2048/4096
+    (paper dims, scaled). Raw AUC; cost fractions vs. the extrapolated full
+    run (the paper's presentation)."""
+    full = full_estimate if full_estimate is not None else schizophrenia_full_estimate(settings)
+    rows: list[dict[str, object]] = []
+    jobs: list[tuple[str, dict]] = [
+        ("entropy", {}),
+        ("random_ensemble", {}),
+        ("jl", {"jl_components": settings.jl_dim(1024)}),
+        ("jl", {"jl_components": settings.jl_dim(2048)}),
+        ("jl", {"jl_components": settings.jl_dim(4096)}),
+    ]
+    for method, kwargs in jobs:
+        result = run_method_on_dataset(method, "schizophrenia", settings, **kwargs)
+        res = result.mean_resources
+        label = method
+        if method == "jl":
+            label = f"jl_{kwargs['jl_components']}d"
+        frac = res.fraction_of(full)
+        rows.append(
+            {
+                "method": label,
+                "auc": result.auc,
+                "work_fraction": frac["work_fraction"],
+                "time_fraction": frac["time_fraction"],
+                "mem_fraction": frac["mem_fraction"],
+            }
+        )
+    return rows
+
+
+def fig3_sweep(
+    settings: StudySettings,
+    *,
+    paper_dims: tuple[int, ...] = (1024, 2048, 4096),
+    n_projections: int = 10,
+) -> list[dict[str, object]]:
+    """Figure 3: JL AUC on schizophrenia vs projected dimension.
+
+    Each point averages ``n_projections`` independent projections on the
+    fixed schizophrenia split (the paper's error bars are the projection
+    standard deviation)."""
+    data_seed = np.random.SeedSequence([settings.seed, _stable_hash("schizophrenia")])
+    replicates = load_replicates(
+        "schizophrenia",
+        scale=settings.scale,
+        sample_scale=settings.sample_scale,
+        rng=np.random.default_rng(data_seed),
+    )
+    rep = replicates[0]
+    rows = []
+    for paper_dim in paper_dims:
+        k = settings.jl_dim(paper_dim)
+        seeds = spawn_seeds(
+            np.random.SeedSequence([settings.seed, paper_dim]), n_projections
+        )
+        aucs = []
+        for seed in seeds:
+            det = make_detector(
+                "jl", "schizophrenia", settings, rng=seed, jl_components=k
+            )
+            det.fit(rep.x_train, rep.schema)
+            aucs.append(auc_score(rep.y_test, det.score(rep.x_test)))
+        rows.append(
+            {
+                "paper_dim": paper_dim,
+                "scaled_dim": k,
+                "auc": mean_std(aucs),
+            }
+        )
+    return rows

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment rows (the benches' output format)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.stats import MeanStd
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, MeanStd):
+        return str(value)
+    if isinstance(value, bool):
+        return "est." if value else ""
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.4f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and value > 10_000:
+        # Byte counts etc.: render with thousands separators.
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[dict[str, object]],
+    columns: "Sequence[str] | None" = None,
+    title: str = "",
+) -> str:
+    """Aligned text table from a list of row dicts."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells = [[_format_cell(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_ascii_series(
+    rows: Sequence[dict[str, object]],
+    x_key: str,
+    y_key: str,
+    *,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """A tiny ASCII rendition of a figure series (mean +- std bars)."""
+    if not rows:
+        return "(empty)"
+    means = []
+    stds = []
+    for r in rows:
+        y = r[y_key]
+        if isinstance(y, MeanStd):
+            means.append(y.mean)
+            stds.append(y.std)
+        else:
+            means.append(float(y))
+            stds.append(0.0)
+    lo = min(m - s for m, s in zip(means, stds))
+    hi = max(m + s for m, s in zip(means, stds))
+    span = (hi - lo) or 1.0
+    lines = [title] if title else []
+    for r, m, s in zip(rows, means, stds):
+        pos = int((m - lo) / span * (width - 1))
+        bar = [" "] * width
+        lo_i = int((max(m - s, lo) - lo) / span * (width - 1))
+        hi_i = int((min(m + s, hi) - lo) / span * (width - 1))
+        for i in range(lo_i, hi_i + 1):
+            bar[i] = "-"
+        bar[pos] = "o"
+        lines.append(f"{str(r[x_key]):>10} |{''.join(bar)}| {m:.3f} (+-{s:.3f})")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Learner interfaces.
+
+FRaC treats predictors as black boxes: anything with ``fit(X, y)`` /
+``predict(X)``. Two small ABCs pin down the contract (and the
+``model_nbytes`` hook the resource model uses). Learners are constructed via
+zero-argument *factories* so the engine can instantiate one fresh model per
+(feature, fold) work item; :meth:`clone` provides that factory behaviour for
+already-configured instances.
+
+All learners require *finite* inputs — the FRaC engine imputes missing
+values (training mean / mode) before models ever see the data.
+"""
+
+from __future__ import annotations
+
+import copy
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_consistent_length
+
+
+class BaseLearner(ABC):
+    """Common machinery for regressors and classifiers."""
+
+    def clone(self) -> "BaseLearner":
+        """A fresh, unfitted learner with identical hyper-parameters."""
+        fresh = copy.copy(self)
+        fresh._reset()
+        return fresh
+
+    def _reset(self) -> None:
+        """Drop fitted state; subclasses override to clear their attributes."""
+
+    @property
+    def model_nbytes(self) -> int:
+        """Approximate bytes of fitted state (resource-model hook)."""
+        return 0
+
+    @staticmethod
+    def _validate_xy(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = check_2d(x, "X", allow_nan=False)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        check_consistent_length(x, y)
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        if not np.isfinite(y).all():
+            raise ValueError("target y contains non-finite values")
+        return x, y
+
+
+class Regressor(BaseLearner):
+    """A supervised model for a real-valued target."""
+
+    @abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Fit on ``(n_samples, n_features)`` inputs and real targets."""
+
+    @abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted target values, shape ``(n_samples,)``."""
+
+
+class Classifier(BaseLearner):
+    """A supervised model for a categorical target (integer codes)."""
+
+    @abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Fit on inputs and integer class codes."""
+
+    @abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class codes, shape ``(n_samples,)``."""

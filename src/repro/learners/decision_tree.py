@@ -1,0 +1,345 @@
+"""CART decision trees, from scratch (the paper's Waffles substitute).
+
+Both the classifier and the regressor grow binary axis-aligned trees with
+midpoint thresholds. Ternary SNP codes (0/1/2) are ordered by minor-allele
+count, so threshold splits are exactly the natural genotype splits
+(dominant/recessive models); unordered categoricals of higher arity are
+handled the same way sklearn handles them — by thresholding the codes —
+which is documented behaviour, not an accident.
+
+The split search is vectorized across *all* candidate features at once:
+each node argsorts its sample block per column, builds cumulative class
+counts (or cumulative sums for regression), and evaluates every valid
+threshold of every feature in one shot. The per-node cost is
+``O(m log m * width)`` for ``m`` node samples.
+
+``max_features`` (int, float fraction, or ``"sqrt"``) subsamples candidate
+features per node, which is how diverse/random-forest-style trees are
+expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.learners.base import Classifier, Regressor
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_2d, check_fitted
+
+_NO_FEATURE = -1
+
+
+@dataclass
+class _Tree:
+    """Flat array representation of a fitted tree."""
+
+    feature: np.ndarray  # (n_nodes,) split feature or _NO_FEATURE for leaves
+    threshold: np.ndarray  # (n_nodes,)
+    left: np.ndarray  # (n_nodes,) child indices
+    right: np.ndarray
+    value: np.ndarray  # (n_nodes,) leaf prediction
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(a.nbytes) for a in (self.feature, self.threshold, self.left, self.right, self.value))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized traversal: route all rows level by level."""
+        node = np.zeros(x.shape[0], dtype=np.intp)
+        while True:
+            feat = self.feature[node]
+            internal = feat != _NO_FEATURE
+            if not internal.any():
+                break
+            rows = np.flatnonzero(internal)
+            go_left = x[rows, feat[rows]] <= self.threshold[node[rows]]
+            node[rows] = np.where(go_left, self.left[node[rows]], self.right[node[rows]])
+        return self.value[node]
+
+
+class _TreeBuilder:
+    """Shared recursive CART builder; criterion supplied by subclass hooks."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int,
+        min_samples_leaf: int,
+        min_samples_split: int,
+        max_features: "int | float | str | None",
+        rng: np.random.Generator,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.rng = rng
+        self._nodes: list[list] = []  # [feature, threshold, left, right, value]
+
+    # hooks -----------------------------------------------------------------
+    def leaf_value(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def node_impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def split_impurities(
+        self, sorted_y_stats: tuple, m: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(left_impurity, right_impurity) arrays of shape (m-1, width)."""
+        raise NotImplementedError
+
+    def sorted_stats(self, y: np.ndarray, order: np.ndarray) -> tuple:
+        """Precompute whatever split_impurities needs from y ordered per column."""
+        raise NotImplementedError
+
+    # machinery ---------------------------------------------------------------
+    def _candidate_features(self, width: int) -> np.ndarray:
+        mf = self.max_features
+        if mf is None:
+            return np.arange(width)
+        if mf == "sqrt":
+            k = max(1, int(np.sqrt(width)))
+        elif isinstance(mf, float):
+            k = max(1, int(round(mf * width)))
+        else:
+            k = max(1, min(int(mf), width))
+        return self.rng.choice(width, size=k, replace=False)
+
+    def build(self, x: np.ndarray, y: np.ndarray) -> _Tree:
+        self._nodes = []
+        self._grow(x, y, depth=0)
+        nodes = self._nodes
+        return _Tree(
+            feature=np.array([n[0] for n in nodes], dtype=np.intp),
+            threshold=np.array([n[1] for n in nodes], dtype=np.float64),
+            left=np.array([n[2] for n in nodes], dtype=np.intp),
+            right=np.array([n[3] for n in nodes], dtype=np.intp),
+            value=np.array([n[4] for n in nodes], dtype=np.float64),
+        )
+
+    def _make_leaf(self, y: np.ndarray) -> int:
+        idx = len(self._nodes)
+        self._nodes.append([_NO_FEATURE, 0.0, -1, -1, self.leaf_value(y)])
+        return idx
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> int:
+        m = len(y)
+        if (
+            depth >= self.max_depth
+            or m < self.min_samples_split
+            or m < 2 * self.min_samples_leaf
+            or self.node_impurity(y) <= 1e-12
+        ):
+            return self._make_leaf(y)
+
+        cand = self._candidate_features(x.shape[1])
+        xs = x[:, cand]
+        order = np.argsort(xs, axis=0, kind="stable")
+        sorted_x = np.take_along_axis(xs, order, axis=0)
+        left_imp, right_imp = self.split_impurities(self.sorted_stats(y, order), m)
+
+        # Split after position i (left = rows [0..i]); position valid only
+        # where the sorted value strictly increases and both sides satisfy
+        # the leaf-size floor.
+        sizes_left = np.arange(1, m)[:, None]
+        valid = sorted_x[:-1] < sorted_x[1:]
+        valid &= sizes_left >= self.min_samples_leaf
+        valid &= (m - sizes_left) >= self.min_samples_leaf
+        if not valid.any():
+            return self._make_leaf(y)
+
+        weighted = (sizes_left * left_imp + (m - sizes_left) * right_imp) / m
+        weighted = np.where(valid, weighted, np.inf)
+        pos, col = np.unravel_index(np.argmin(weighted), weighted.shape)
+        if not np.isfinite(weighted[pos, col]):
+            return self._make_leaf(y)
+        parent_imp = self.node_impurity(y)
+        if parent_imp - weighted[pos, col] <= 1e-12:
+            return self._make_leaf(y)
+
+        feature = int(cand[col])
+        threshold = 0.5 * (sorted_x[pos, col] + sorted_x[pos + 1, col])
+        go_left = x[:, feature] <= threshold
+
+        idx = len(self._nodes)
+        self._nodes.append([feature, float(threshold), -1, -1, 0.0])
+        left_child = self._grow(x[go_left], y[go_left], depth + 1)
+        right_child = self._grow(x[~go_left], y[~go_left], depth + 1)
+        self._nodes[idx][2] = left_child
+        self._nodes[idx][3] = right_child
+        return idx
+
+
+class _ClassifierBuilder(_TreeBuilder):
+    def __init__(self, criterion: str, classes: np.ndarray, **kw) -> None:
+        super().__init__(**kw)
+        self.criterion = criterion
+        self.classes = classes
+
+    def leaf_value(self, y: np.ndarray) -> float:
+        counts = np.bincount(
+            np.searchsorted(self.classes, y.astype(np.intp)), minlength=len(self.classes)
+        )
+        return float(self.classes[int(np.argmax(counts))])
+
+    def _impurity_from_counts(self, counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = counts / totals
+        if self.criterion == "gini":
+            return 1.0 - np.nansum(p * p, axis=-1)
+        # Shannon entropy (Waffles' default for its entropy-minimizing trees).
+        logp = np.where(p > 0, np.log2(np.where(p > 0, p, 1.0)), 0.0)
+        return -(p * logp).sum(axis=-1)
+
+    def node_impurity(self, y: np.ndarray) -> float:
+        counts = np.bincount(np.searchsorted(self.classes, y.astype(np.intp)))
+        return float(self._impurity_from_counts(counts, np.array(len(y), dtype=np.float64)))
+
+    def sorted_stats(self, y: np.ndarray, order: np.ndarray) -> tuple:
+        codes = np.searchsorted(self.classes, y.astype(np.intp))
+        k = len(self.classes)
+        m, width = order.shape
+        # cum[i, w, c] = count of class c among the first i+1 sorted rows of col w
+        cum = np.empty((m - 1, width, k), dtype=np.float64)
+        for c in range(k):
+            col_is_c = (codes == c).astype(np.float64)[order]  # (m, width)
+            cum[:, :, c] = np.cumsum(col_is_c, axis=0)[:-1]
+        total = np.bincount(codes, minlength=k).astype(np.float64)
+        return cum, total
+
+    def split_impurities(self, stats: tuple, m: int) -> tuple[np.ndarray, np.ndarray]:
+        cum, total = stats
+        sizes_left = np.arange(1, m, dtype=np.float64)[:, None, None]
+        left = self._impurity_from_counts(cum, sizes_left)
+        right = self._impurity_from_counts(total[None, None, :] - cum, m - sizes_left)
+        return left, right
+
+
+class _RegressorBuilder(_TreeBuilder):
+    def leaf_value(self, y: np.ndarray) -> float:
+        return float(y.mean())
+
+    def node_impurity(self, y: np.ndarray) -> float:
+        return float(y.var())
+
+    def sorted_stats(self, y: np.ndarray, order: np.ndarray) -> tuple:
+        ys = y[order]  # (m, width)
+        cum1 = np.cumsum(ys, axis=0)[:-1]
+        cum2 = np.cumsum(ys * ys, axis=0)[:-1]
+        return cum1, cum2, float(y.sum()), float((y * y).sum())
+
+    def split_impurities(self, stats: tuple, m: int) -> tuple[np.ndarray, np.ndarray]:
+        cum1, cum2, tot1, tot2 = stats
+        sizes_left = np.arange(1, m, dtype=np.float64)[:, None]
+        sizes_right = m - sizes_left
+        # Var = E[y^2] - E[y]^2, computed from cumulative moments.
+        left = cum2 / sizes_left - (cum1 / sizes_left) ** 2
+        right = (tot2 - cum2) / sizes_right - ((tot1 - cum1) / sizes_right) ** 2
+        return np.maximum(left, 0.0), np.maximum(right, 0.0)
+
+
+class _BaseTree:
+    """Hyper-parameter storage shared by the two public tree classes."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+        max_features: "int | float | str | None" = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1; got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1; got {min_samples_leaf}")
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.min_samples_split = int(min_samples_split)
+        self.max_features = max_features
+        self.seed = seed
+        self.tree_: "_Tree | None" = None
+
+    def _reset(self) -> None:
+        self.tree_ = None
+
+    def _builder_kwargs(self) -> dict:
+        return dict(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            min_samples_split=self.min_samples_split,
+            max_features=self.max_features,
+            rng=as_generator(self.seed),
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "tree_")
+        x = check_2d(x, "X", allow_nan=False)
+        if x.shape[1] != self._n_features_in:
+            raise ValueError(
+                f"X has {x.shape[1]} features but model was fit with {self._n_features_in}"
+            )
+        return self.tree_.predict(x)
+
+    @property
+    def model_nbytes(self) -> int:
+        return 0 if self.tree_ is None else self.tree_.nbytes
+
+    @property
+    def n_nodes(self) -> int:
+        return 0 if self.tree_ is None else self.tree_.n_nodes
+
+
+class DecisionTreeClassifier(_BaseTree, Classifier):
+    """CART classification tree (gini or entropy criterion)."""
+
+    def __init__(self, criterion: str = "entropy", **kw) -> None:
+        super().__init__(**kw)
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"criterion must be 'gini' or 'entropy'; got {criterion!r}")
+        self.criterion = criterion
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x, y = self._validate_xy(x, y)
+        self._n_features_in = x.shape[1]
+        classes = np.unique(y.astype(np.intp))
+        if x.shape[1] == 0:
+            builder = _ClassifierBuilder(self.criterion, classes, **self._builder_kwargs())
+            self.tree_ = _Tree(
+                feature=np.array([_NO_FEATURE], dtype=np.intp),
+                threshold=np.zeros(1),
+                left=np.array([-1], dtype=np.intp),
+                right=np.array([-1], dtype=np.intp),
+                value=np.array([builder.leaf_value(y)]),
+            )
+            return self
+        builder = _ClassifierBuilder(self.criterion, classes, **self._builder_kwargs())
+        self.tree_ = builder.build(x, y)
+        return self
+
+
+class DecisionTreeRegressor(_BaseTree, Regressor):
+    """CART regression tree (variance criterion)."""
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x, y = self._validate_xy(x, y)
+        self._n_features_in = x.shape[1]
+        if x.shape[1] == 0:
+            self.tree_ = _Tree(
+                feature=np.array([_NO_FEATURE], dtype=np.intp),
+                threshold=np.zeros(1),
+                left=np.array([-1], dtype=np.intp),
+                right=np.array([-1], dtype=np.intp),
+                value=np.array([float(y.mean())]),
+            )
+            return self
+        builder = _RegressorBuilder(**self._builder_kwargs())
+        self.tree_ = builder.build(x, y)
+        return self

@@ -1,0 +1,63 @@
+"""Constant-prediction learners.
+
+These serve two roles: the degenerate-case fallback inside the FRaC engine
+(a feature whose training column is constant, or a model given zero input
+features), and a floor baseline in tests — any real learner must beat them
+on learnable data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learners.base import Classifier, Regressor
+from repro.utils.validation import check_2d, check_fitted
+
+
+class MeanRegressor(Regressor):
+    """Always predicts the training-target mean."""
+
+    def __init__(self) -> None:
+        self.mean_: "float | None" = None
+
+    def _reset(self) -> None:
+        self.mean_ = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MeanRegressor":
+        _, y = self._validate_xy(x, y)
+        self.mean_ = float(y.mean())
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "mean_")
+        x = check_2d(x, "X", allow_nan=False)
+        return np.full(x.shape[0], self.mean_)
+
+    @property
+    def model_nbytes(self) -> int:
+        return 8
+
+
+class MajorityClassifier(Classifier):
+    """Always predicts the most frequent training class."""
+
+    def __init__(self) -> None:
+        self.majority_: "int | None" = None
+
+    def _reset(self) -> None:
+        self.majority_ = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MajorityClassifier":
+        _, y = self._validate_xy(x, y)
+        codes, counts = np.unique(y.astype(np.intp), return_counts=True)
+        self.majority_ = int(codes[np.argmax(counts)])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "majority_")
+        x = check_2d(x, "X", allow_nan=False)
+        return np.full(x.shape[0], self.majority_, dtype=np.float64)
+
+    @property
+    def model_nbytes(self) -> int:
+        return 8

@@ -1,0 +1,99 @@
+"""k-nearest-neighbour learners.
+
+Simple non-parametric predictors. Not used by the paper's experiments, but
+part of the learner substrate a downstream user can wire into FRaC via the
+registry (FRaC treats predictors as black boxes; cf. the original FRaC
+paper, which ensembles several learner families per feature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learners.base import Classifier, Regressor
+from repro.utils.validation import check_2d, check_fitted
+
+
+def _neighbour_indices(train: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k nearest training rows per query row."""
+    d = (
+        (query * query).sum(axis=1)[:, None]
+        - 2.0 * (query @ train.T)
+        + (train * train).sum(axis=1)[None, :]
+    )
+    k = min(k, train.shape[0])
+    return np.argpartition(d, kth=k - 1, axis=1)[:, :k]
+
+
+class KNNRegressor(Regressor):
+    """Mean of the k nearest training targets."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1; got {k}")
+        self.k = int(k)
+        self.x_: "np.ndarray | None" = None
+        self.y_: "np.ndarray | None" = None
+
+    def _reset(self) -> None:
+        self.x_ = None
+        self.y_ = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        x, y = self._validate_xy(x, y)
+        self.x_, self.y_ = x, y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "x_")
+        x = check_2d(x, "X", allow_nan=False)
+        if self.x_.shape[1] == 0:
+            return np.full(x.shape[0], float(self.y_.mean()))
+        nn = _neighbour_indices(self.x_, x, self.k)
+        return self.y_[nn].mean(axis=1)
+
+    @property
+    def model_nbytes(self) -> int:
+        if self.x_ is None:
+            return 0
+        return int(self.x_.nbytes + self.y_.nbytes)
+
+
+class KNNClassifier(Classifier):
+    """Majority vote of the k nearest training labels (ties -> smallest code)."""
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1; got {k}")
+        self.k = int(k)
+        self.x_: "np.ndarray | None" = None
+        self.y_: "np.ndarray | None" = None
+
+    def _reset(self) -> None:
+        self.x_ = None
+        self.y_ = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        x, y = self._validate_xy(x, y)
+        self.x_, self.y_ = x, y.astype(np.intp)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "x_")
+        x = check_2d(x, "X", allow_nan=False)
+        if self.x_.shape[1] == 0:
+            counts = np.bincount(self.y_)
+            return np.full(x.shape[0], float(np.argmax(counts)))
+        nn = _neighbour_indices(self.x_, x, self.k)
+        votes = self.y_[nn]
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(votes):
+            counts = np.bincount(row)
+            out[i] = float(np.argmax(counts))
+        return out
+
+    @property
+    def model_nbytes(self) -> int:
+        if self.x_ is None:
+            return 0
+        return int(self.x_.nbytes + self.y_.nbytes)

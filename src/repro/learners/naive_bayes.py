@@ -1,0 +1,84 @@
+"""Categorical naive Bayes classifier.
+
+A natural lightweight alternative to decision trees for the ternary SNP
+features: per-class categorical likelihoods with Laplace smoothing.
+Treats every input column as an integer-coded categorical (FRaC's SNP
+pipeline guarantees this; real-valued inputs are binned by rounding,
+documented behaviour for mixed data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learners.base import Classifier
+from repro.utils.validation import check_2d, check_fitted
+
+
+class CategoricalNB(Classifier):
+    """Naive Bayes over integer-coded inputs.
+
+    Parameters
+    ----------
+    smoothing:
+        Laplace pseudo-count per (class, feature, value) cell.
+    """
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive; got {smoothing}")
+        self.smoothing = float(smoothing)
+        self.classes_: "np.ndarray | None" = None
+        self.log_prior_: "np.ndarray | None" = None
+        self.log_likelihood_: "np.ndarray | None" = None  # (n_classes, n_features, n_values)
+        self._n_values: int = 0
+
+    def _reset(self) -> None:
+        self.classes_ = None
+        self.log_prior_ = None
+        self.log_likelihood_ = None
+        self._n_values = 0
+
+    def _codes(self, x: np.ndarray) -> np.ndarray:
+        codes = np.rint(x).astype(np.intp)
+        return np.clip(codes, 0, max(self._n_values - 1, 0))
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "CategoricalNB":
+        x, y = self._validate_xy(x, y)
+        labels = y.astype(np.intp)
+        self.classes_ = np.unique(labels)
+        n_classes = len(self.classes_)
+        n_features = x.shape[1]
+        raw = np.rint(x).astype(np.intp)
+        self._n_values = int(max(raw.max(initial=0) + 1, 2))
+        codes = self._codes(x)
+
+        counts = np.full(
+            (n_classes, max(n_features, 1), self._n_values), self.smoothing
+        )
+        for ci, cls in enumerate(self.classes_):
+            rows = codes[labels == cls]
+            for j in range(n_features):
+                counts[ci, j] += np.bincount(rows[:, j], minlength=self._n_values)
+        self.log_likelihood_ = np.log(counts / counts.sum(axis=2, keepdims=True))
+        class_counts = np.array([(labels == cls).sum() for cls in self.classes_])
+        self.log_prior_ = np.log(class_counts / class_counts.sum())
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "classes_")
+        x = check_2d(x, "X", allow_nan=False)
+        if x.shape[1] == 0 or self.log_likelihood_ is None:
+            return np.full(x.shape[0], float(self.classes_[np.argmax(self.log_prior_)]))
+        codes = self._codes(x)
+        n, f = codes.shape
+        scores = np.tile(self.log_prior_, (n, 1))
+        for j in range(f):
+            scores += self.log_likelihood_[:, j, codes[:, j]].T
+        return self.classes_[np.argmax(scores, axis=1)].astype(np.float64)
+
+    @property
+    def model_nbytes(self) -> int:
+        if self.log_likelihood_ is None:
+            return 0
+        return int(self.log_likelihood_.nbytes + self.log_prior_.nbytes)

@@ -1,0 +1,44 @@
+"""Name-based learner construction.
+
+The experiment harness refers to learners by short names (``"linear_svr"``,
+``"tree"``...) so that configurations are serializable; this registry maps
+those names to constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.learners.base import BaseLearner, Classifier, Regressor
+from repro.learners.decision_tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.learners.dummy import MajorityClassifier, MeanRegressor
+from repro.learners.knn import KNNClassifier, KNNRegressor
+from repro.learners.linear_svm import LinearSVC, LinearSVR
+from repro.learners.naive_bayes import CategoricalNB
+from repro.learners.ridge import RidgeRegressor
+
+REGRESSORS: dict[str, Callable[..., Regressor]] = {
+    "linear_svr": LinearSVR,
+    "ridge": RidgeRegressor,
+    "tree_regressor": DecisionTreeRegressor,
+    "knn_regressor": KNNRegressor,
+    "mean": MeanRegressor,
+}
+
+CLASSIFIERS: dict[str, Callable[..., Classifier]] = {
+    "linear_svc": LinearSVC,
+    "tree": DecisionTreeClassifier,
+    "knn": KNNClassifier,
+    "naive_bayes": CategoricalNB,
+    "majority": MajorityClassifier,
+}
+
+
+def make_learner(name: str, **kwargs) -> BaseLearner:
+    """Instantiate a learner by registry name, forwarding hyper-parameters."""
+    table = {**REGRESSORS, **CLASSIFIERS}
+    try:
+        ctor = table[name]
+    except KeyError:
+        raise ValueError(f"unknown learner {name!r}; available: {sorted(table)}") from None
+    return ctor(**kwargs)

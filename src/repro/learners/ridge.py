@@ -1,0 +1,74 @@
+"""Closed-form ridge regression.
+
+A fast, deterministic linear regressor used as a cheap alternative to the
+SVR in tests and as a baseline learner. Solves
+``min_w ||Xw - y||^2 + alpha ||w||^2`` via the normal equations in whichever
+of the primal/dual forms is smaller (n x n vs d x d), which matters in the
+paper's regime of tiny n and huge d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+from repro.learners.base import Regressor
+from repro.utils.validation import check_2d, check_fitted
+
+
+class RidgeRegressor(Regressor):
+    """L2-regularized linear least squares with intercept.
+
+    Parameters
+    ----------
+    alpha:
+        Regularization strength (must be positive; the dual form requires
+        an invertible Gram matrix).
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive; got {alpha}")
+        self.alpha = float(alpha)
+        self.coef_: "np.ndarray | None" = None
+        self.intercept_: float = 0.0
+
+    def _reset(self) -> None:
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        x, y = self._validate_xy(x, y)
+        n, d = x.shape
+        x_mean = x.mean(axis=0)
+        y_mean = y.mean()
+        xc = x - x_mean
+        yc = y - y_mean
+        if d == 0:
+            self.coef_ = np.zeros(0)
+            self.intercept_ = float(y_mean)
+            return self
+        if d <= n:
+            gram = xc.T @ xc
+            gram.flat[:: d + 1] += self.alpha
+            self.coef_ = linalg.solve(gram, xc.T @ yc, assume_a="pos")
+        else:
+            # Dual (kernelized) form: w = X^T (XX^T + alpha I)^{-1} y.
+            gram = xc @ xc.T
+            gram.flat[:: n + 1] += self.alpha
+            self.coef_ = xc.T @ linalg.solve(gram, yc, assume_a="pos")
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, "coef_")
+        x = check_2d(x, "X", allow_nan=False)
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {x.shape[1]} features but model was fit with {self.coef_.shape[0]}"
+            )
+        return x @ self.coef_ + self.intercept_
+
+    @property
+    def model_nbytes(self) -> int:
+        return 0 if self.coef_ is None else int(self.coef_.nbytes) + 8

@@ -1,0 +1,22 @@
+"""Parallel runtime: executors, resource accounting, profiling."""
+
+from repro.parallel.executor import ExecutionConfig, get_shared, run_tasks
+from repro.parallel.profiling import SectionTimer, timed_section
+from repro.parallel.resources import (
+    ResourceLog,
+    ResourceReport,
+    TaskCost,
+    design_matrix_bytes,
+)
+
+__all__ = [
+    "ExecutionConfig",
+    "run_tasks",
+    "get_shared",
+    "TaskCost",
+    "ResourceLog",
+    "ResourceReport",
+    "design_matrix_bytes",
+    "SectionTimer",
+    "timed_section",
+]

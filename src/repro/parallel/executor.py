@@ -1,0 +1,128 @@
+"""Parallel execution of per-feature FRaC work items.
+
+Normalized surprisal "is a giant sum, [so] FRaC is highly parallelizable"
+(paper §I-A1): the per-feature model trainings are independent. This module
+maps a work function over items under three interchangeable modes:
+
+- ``"serial"`` — a plain loop (the default; also the reference semantics);
+- ``"thread"`` — a thread pool (helps only when the work releases the GIL,
+  i.e. large-matrix numpy calls);
+- ``"process"`` — a fork-based process pool, sharing the read-only training
+  matrix with workers through copy-on-write memory rather than pickling it
+  per task.
+
+Large shared state is installed once per worker via an initializer and read
+through :func:`get_shared`; per-item payloads must stay small and picklable.
+Work functions receive child seeds derived via ``SeedSequence.spawn`` by the
+caller, so results are identical across modes (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, TypeVar
+
+import multiprocessing as mp
+
+from repro.utils.exceptions import ReproError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_MODES = ("serial", "thread", "process")
+
+# Worker-side shared state. In serial/thread modes this is process-local; in
+# process mode the initializer installs it in each forked worker.
+_SHARED: Any = None
+
+
+def _init_shared(shared: Any) -> None:
+    global _SHARED
+    _SHARED = shared
+
+
+def get_shared() -> Any:
+    """The shared state installed for the currently running task batch."""
+    return _SHARED
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How to run a batch of independent work items.
+
+    Attributes
+    ----------
+    mode:
+        ``"serial"``, ``"thread"``, or ``"process"``.
+    n_workers:
+        Worker count for the pooled modes; ``None`` uses ``os.cpu_count()``.
+    chunk_size:
+        Items per pickled task in process mode; ``None`` picks
+        ``ceil(n_items / (4 * n_workers))``.
+    """
+
+    mode: str = "serial"
+    n_workers: "int | None" = None
+    chunk_size: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ReproError(f"mode must be one of {_MODES}; got {self.mode!r}")
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ReproError(f"n_workers must be >= 1; got {self.n_workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ReproError(f"chunk_size must be >= 1; got {self.chunk_size}")
+
+    @property
+    def effective_workers(self) -> int:
+        if self.mode == "serial":
+            return 1
+        return self.n_workers or os.cpu_count() or 1
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    shared: Any = None,
+    config: "ExecutionConfig | None" = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, in order, under the configured mode.
+
+    ``shared`` is made available to ``fn`` through :func:`get_shared`
+    (installed once per worker, not per item).
+    """
+    config = config or ExecutionConfig()
+    items = list(items)
+    if not items:
+        return []
+
+    if config.mode == "serial":
+        _init_shared(shared)
+        try:
+            return [fn(item) for item in items]
+        finally:
+            _init_shared(None)
+
+    if config.mode == "thread":
+        _init_shared(shared)
+        try:
+            with ThreadPoolExecutor(max_workers=config.effective_workers) as pool:
+                return list(pool.map(fn, items))
+        finally:
+            _init_shared(None)
+
+    # process mode: fork so workers inherit nothing-to-pickle views of the
+    # shared arrays (POSIX only; matches this library's target platform).
+    ctx = mp.get_context("fork")
+    n_workers = config.effective_workers
+    chunk = config.chunk_size or max(1, (len(items) + 4 * n_workers - 1) // (4 * n_workers))
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=ctx,
+        initializer=_init_shared,
+        initargs=(shared,),
+    ) as pool:
+        return list(pool.map(fn, items, chunksize=chunk))

@@ -1,0 +1,40 @@
+"""Lightweight profiling helpers (wall + CPU timing of code sections)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SectionTimer:
+    """Accumulates named section timings; useful for harness breakdowns."""
+
+    wall: dict[str, float] = field(default_factory=dict)
+    cpu: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str):
+        w0, c0 = time.perf_counter(), time.process_time()
+        try:
+            yield
+        finally:
+            self.wall[name] = self.wall.get(name, 0.0) + (time.perf_counter() - w0)
+            self.cpu[name] = self.cpu.get(name, 0.0) + (time.process_time() - c0)
+
+    def summary(self) -> str:
+        lines = [f"{name}: wall={self.wall[name]:.3f}s cpu={self.cpu[name]:.3f}s" for name in self.wall]
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed_section(label: str, sink: "list[tuple[str, float]] | None" = None):
+    """Time one section; append ``(label, wall_seconds)`` to ``sink``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        if sink is not None:
+            sink.append((label, elapsed))

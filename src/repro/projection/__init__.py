@@ -1,0 +1,19 @@
+"""Projection substrate: 1-hot encoding and Johnson-Lindenstrauss maps."""
+
+from repro.projection.jl import (
+    JLTransform,
+    distortion_stats,
+    jl_dimension_distributional,
+    jl_dimension_npoints,
+    paper_epsilon,
+)
+from repro.projection.onehot import OneHotEncoder
+
+__all__ = [
+    "OneHotEncoder",
+    "JLTransform",
+    "jl_dimension_npoints",
+    "jl_dimension_distributional",
+    "paper_epsilon",
+    "distortion_stats",
+]

@@ -1,0 +1,206 @@
+"""Johnson-Lindenstrauss random projections (paper §I-A2, §II-D).
+
+Three classic constructions are provided, all scaled so that squared
+Euclidean distances are preserved in expectation:
+
+- ``"gaussian"`` — entries ``N(0, 1) / sqrt(k)`` (Johnson & Lindenstrauss
+  1984, dense form);
+- ``"uniform"`` — entries ``Uniform(-1, 1) * sqrt(3 / k)`` (variance-1
+  rescaling of the paper's Uniform(-1,1) suggestion);
+- ``"sparse"`` — Achlioptas (2003) database-friendly entries
+  ``{+sqrt(3), 0, -sqrt(3)}`` with probabilities ``{1/6, 2/3, 1/6}``,
+  scaled by ``1/sqrt(k)``;
+- ``"hashing"`` — a count-sketch / feature-hashing matrix (Charikar et
+  al. 2002; Weinberger et al. 2009): every input column maps to exactly
+  one output row with a random sign. Each projected coordinate is then a
+  *signed sum of raw feature values*, which keeps 1-hot-encoded
+  categorical structure far more intact than a dense mix — this library's
+  implementation of the paper's future-work suggestion to use
+  "preprocessing techniques tailored to preserve the structure of
+  discrete data" (§IV).
+
+The module also exposes the two dimension bounds quoted in the paper:
+:func:`jl_dimension_npoints` (all ``n choose 2`` pairwise distances
+preserved) and :func:`jl_dimension_distributional` (any fixed pair
+preserved with probability ``1 - delta``). The paper's JL runs use
+``k = 1024`` and §III-B3 quotes ``delta = 0.05``, ``eps = 0.057`` for it;
+:func:`paper_epsilon` inverts the bound and shows the guarantee k = 1024
+actually buys is ``eps ~ 0.0875`` (a paper slip, recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import DataError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_2d, check_fitted
+
+_KINDS = ("gaussian", "uniform", "sparse", "hashing")
+
+
+def _denominator(eps: float) -> float:
+    if not 0.0 < eps < 1.0:
+        raise DataError(f"eps must lie in (0, 1); got {eps}")
+    return eps**2 / 2.0 - eps**3 / 3.0
+
+
+def jl_dimension_npoints(n_points: int, eps: float) -> int:
+    """``k >= 4 ln(n) / (eps^2/2 - eps^3/3)``: preserve *all* pairs."""
+    if n_points < 2:
+        raise DataError(f"need at least 2 points; got {n_points}")
+    return int(np.ceil(4.0 * np.log(n_points) / _denominator(eps)))
+
+
+def jl_dimension_distributional(delta: float, eps: float) -> int:
+    """``k >= ln(2/delta) / (eps^2/2 - eps^3/3)``: preserve a fixed pair
+    with probability ``1 - delta`` (independent of n)."""
+    if not 0.0 < delta < 1.0:
+        raise DataError(f"delta must lie in (0, 1); got {delta}")
+    return int(np.ceil(np.log(2.0 / delta) / _denominator(eps)))
+
+
+def paper_epsilon(k: int, delta: float = 0.05) -> float:
+    """The distortion ``eps`` guaranteed by ``k`` dimensions at ``delta``.
+
+    Solves the distributional bound for eps by bisection. With the paper's
+    ``k = 1024`` and ``delta = 0.05`` this returns ~0.0875; §III-B3 quotes
+    0.057 for that setting, which is inconsistent with the paper's own
+    formula (eps = 0.057 requires k >= 2361) — see EXPERIMENTS.md.
+    """
+    if k < 1:
+        raise DataError(f"k must be >= 1; got {k}")
+    target = np.log(2.0 / delta) / k
+    lo, hi = 1e-6, 1.0 - 1e-9
+    if _denominator(hi) < target:
+        raise DataError(f"k={k} is too small for any eps < 1 at delta={delta}")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if _denominator(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+class JLTransform:
+    """A ``k x d`` random linear map with distance preservation.
+
+    Parameters
+    ----------
+    n_components:
+        Projected dimension ``k``.
+    kind:
+        One of ``"gaussian"``, ``"uniform"``, ``"sparse"``, ``"hashing"``.
+    rng:
+        Seed or generator for the projection matrix. The transform is
+        data-independent (fit only records the input dimension and draws
+        the matrix), which is exactly why the paper prefers it to PCA.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        kind: str = "gaussian",
+        rng: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if n_components < 1:
+            raise DataError(f"n_components must be >= 1; got {n_components}")
+        if kind not in _KINDS:
+            raise DataError(f"kind must be one of {_KINDS}; got {kind!r}")
+        self.n_components = int(n_components)
+        self.kind = kind
+        self._rng = rng
+        self.matrix_: "np.ndarray | None" = None
+
+    def fit(self, n_features: int) -> "JLTransform":
+        """Draw the projection matrix for ``n_features``-dimensional input."""
+        if n_features < 1:
+            raise DataError(f"n_features must be >= 1; got {n_features}")
+        gen = as_generator(self._rng)
+        k, d = self.n_components, int(n_features)
+        if self.kind == "gaussian":
+            mat = gen.standard_normal((k, d)) / np.sqrt(k)
+        elif self.kind == "uniform":
+            mat = gen.uniform(-1.0, 1.0, size=(k, d)) * np.sqrt(3.0 / k)
+        elif self.kind == "sparse":  # Achlioptas
+            signs = gen.choice(
+                np.array([np.sqrt(3.0), 0.0, -np.sqrt(3.0)]),
+                size=(k, d),
+                p=[1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0],
+            )
+            mat = signs / np.sqrt(k)
+        else:  # hashing (count sketch): one signed entry per input column
+            mat = np.zeros((k, d))
+            rows = gen.integers(0, k, size=d)
+            signs = gen.choice(np.array([-1.0, 1.0]), size=d)
+            mat[rows, np.arange(d)] = signs
+        self.matrix_ = np.ascontiguousarray(mat)
+        return self
+
+    @property
+    def n_features_in(self) -> int:
+        check_fitted(self, "matrix_")
+        return self.matrix_.shape[1]
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project ``(n, d)`` data to ``(n, k)``."""
+        check_fitted(self, "matrix_")
+        x = check_2d(x, "X", allow_nan=False)
+        if x.shape[1] != self.matrix_.shape[1]:
+            raise DataError(
+                f"X has {x.shape[1]} features but the projection was drawn "
+                f"for {self.matrix_.shape[1]}"
+            )
+        return x @ self.matrix_.T
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        x = check_2d(x, "X", allow_nan=False)
+        return self.fit(x.shape[1]).transform(x)
+
+    def feature_influence(self) -> np.ndarray:
+        """Per-input-feature aggregate |weight| across projected components.
+
+        The paper's interpretability workaround (§II-D): input features that
+        are present in many highly predictive projected features can be
+        identified by aggregating the projection weights.
+        """
+        check_fitted(self, "matrix_")
+        return np.abs(self.matrix_).sum(axis=0)
+
+
+def distortion_stats(
+    x: np.ndarray, projected: np.ndarray, n_pairs: int = 1000, rng=None
+) -> dict[str, float]:
+    """Empirical squared-distance distortion over random point pairs.
+
+    Returns the min/max/mean of ``||Pu - Pv||^2 / ||u - v||^2`` and the
+    fraction of sampled pairs within ``[1 - eps, 1 + eps]`` for the paper's
+    eps = 0.057 — the quantity the distributional JL lemma bounds.
+    """
+    x = check_2d(x, "X", allow_nan=False)
+    projected = check_2d(projected, "projected", allow_nan=False)
+    if x.shape[0] != projected.shape[0]:
+        raise DataError("x and projected must have the same number of rows")
+    n = x.shape[0]
+    if n < 2:
+        raise DataError("need at least 2 points to measure distortion")
+    gen = as_generator(rng)
+    i = gen.integers(0, n, size=n_pairs)
+    j = gen.integers(0, n, size=n_pairs)
+    keep = i != j
+    i, j = i[keep], j[keep]
+    d_orig = ((x[i] - x[j]) ** 2).sum(axis=1)
+    d_proj = ((projected[i] - projected[j]) ** 2).sum(axis=1)
+    ok = d_orig > 0
+    ratio = d_proj[ok] / d_orig[ok]
+    eps = 0.057
+    return {
+        "min": float(ratio.min()),
+        "max": float(ratio.max()),
+        "mean": float(ratio.mean()),
+        "frac_within_paper_eps": float(
+            ((ratio >= 1 - eps) & (ratio <= 1 + eps)).mean()
+        ),
+    }

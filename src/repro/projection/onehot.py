@@ -1,0 +1,83 @@
+"""1-hot encoding of mixed data (paper Fig. 2, step 1-2).
+
+Categorical k-ary features become k-dimensional indicator vectors; real
+features pass through unchanged; the results are concatenated in schema
+order. Example from the paper's Figure 2:
+
+>>> import numpy as np
+>>> from repro.data import FeatureSchema, FeatureSpec, FeatureKind
+>>> schema = FeatureSchema(
+...     [FeatureSpec(FeatureKind.REAL)] * 4
+...     + [FeatureSpec(FeatureKind.CATEGORICAL, arity=3),
+...        FeatureSpec(FeatureKind.CATEGORICAL, arity=4)]
+... )
+>>> enc = OneHotEncoder(schema)
+>>> enc.transform(np.array([[3.4, 0.0, -2.0, 0.6, 1.0, 2.0]]))
+array([[ 3.4,  0. , -2. ,  0.6,  0. ,  1. ,  0. ,  0. ,  0. ,  1. ,  0. ]])
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import FeatureSchema
+from repro.utils.exceptions import DataError
+
+
+class OneHotEncoder:
+    """Schema-driven 1-hot + concatenation transform.
+
+    Attributes
+    ----------
+    column_spans:
+        For each original feature, the ``(start, stop)`` column span it
+        occupies in the encoded matrix — the bookkeeping needed to aggregate
+        projected-space model weights back onto original features
+        (the interpretability workaround of paper §II-D).
+    """
+
+    def __init__(self, schema: FeatureSchema) -> None:
+        self.schema = schema
+        spans: list[tuple[int, int]] = []
+        offset = 0
+        for spec in schema:
+            spans.append((offset, offset + spec.onehot_width))
+            offset += spec.onehot_width
+        self.column_spans: tuple[tuple[int, int], ...] = tuple(spans)
+        self.width = offset
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Encode ``(n, n_features)`` mixed data to ``(n, width)`` reals.
+
+        Input must be finite (impute missing values first); categorical
+        codes must be valid for their arity.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        self.schema.validate_matrix(x)
+        if np.isnan(x).any():
+            raise DataError(
+                "one-hot encoding requires finite data; impute missing values first"
+            )
+        n = x.shape[0]
+        out = np.zeros((n, self.width), dtype=np.float64)
+        rows = np.arange(n)
+        for j, (spec, (start, stop)) in enumerate(zip(self.schema, self.column_spans)):
+            if spec.is_real:
+                out[:, start] = x[:, j]
+            else:
+                codes = np.rint(x[:, j]).astype(np.intp)
+                out[rows, start + codes] = 1.0
+        return out
+
+    def aggregate_to_features(self, encoded_values: np.ndarray) -> np.ndarray:
+        """Sum per-encoded-column magnitudes back onto original features.
+
+        Given a length-``width`` vector of importances in the encoded space
+        (e.g. absolute projection/model weights), returns a length-
+        ``n_features`` vector where each categorical feature accumulates its
+        category columns.
+        """
+        v = np.asarray(encoded_values, dtype=np.float64).ravel()
+        if v.shape[0] != self.width:
+            raise DataError(f"expected length {self.width}, got {v.shape[0]}")
+        return np.array([v[start:stop].sum() for start, stop in self.column_spans])

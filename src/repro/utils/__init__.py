@@ -1,0 +1,36 @@
+"""Shared utilities: RNG plumbing, validation helpers, and exceptions."""
+
+from repro.utils.exceptions import (
+    DataError,
+    FitError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+)
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
+from repro.utils.validation import (
+    check_2d,
+    check_consistent_length,
+    check_feature_index,
+    check_fitted,
+    check_probability,
+)
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "SchemaError",
+    "FitError",
+    "NotFittedError",
+    "get_logger",
+    "enable_console_logging",
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "check_2d",
+    "check_consistent_length",
+    "check_feature_index",
+    "check_fitted",
+    "check_probability",
+]

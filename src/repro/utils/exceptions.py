@@ -1,0 +1,27 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataError(ReproError, ValueError):
+    """Raised when input data is malformed (shape, dtype, NaN policy...)."""
+
+
+class SchemaError(ReproError, ValueError):
+    """Raised when a :class:`~repro.data.FeatureSchema` is inconsistent
+    with the data it describes."""
+
+
+class FitError(ReproError, RuntimeError):
+    """Raised when a model cannot be fit (e.g. degenerate training set)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when ``predict``/``score`` is called before ``fit``."""

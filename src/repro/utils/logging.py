@@ -1,0 +1,35 @@
+"""Library logging.
+
+All repro loggers live under the ``"repro"`` namespace and follow stdlib
+conventions: the library never configures handlers itself (a
+``NullHandler`` on the root logger silences the "no handler" warning);
+applications opt in with :func:`enable_console_logging` or their own
+``logging`` configuration. FRaC fits at SNP scale run for hours — INFO
+progress lines are how an operator tells "working" from "wedged".
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the library namespace (``repro`` or ``repro.<name>``)."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the library root (idempotent-ish: call
+    once; returns the handler so callers can remove it)."""
+    logger = logging.getLogger(_ROOT_NAME)
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

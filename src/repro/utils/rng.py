@@ -1,0 +1,54 @@
+"""Deterministic random-number plumbing.
+
+All stochastic components of the library accept either an integer seed, a
+:class:`numpy.random.Generator`, a :class:`numpy.random.SeedSequence`, or
+``None``. Parallel work items derive *independent* child streams via
+:meth:`numpy.random.SeedSequence.spawn`, which guarantees that results are
+identical under serial, threaded, and multi-process execution — a
+requirement called out in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(rng: "int | np.random.Generator | np.random.SeedSequence | None") -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    anything else constructs a fresh, independent generator.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    return np.random.default_rng(rng)
+
+
+def spawn_seeds(rng: "int | np.random.Generator | np.random.SeedSequence | None", n: int) -> Sequence[np.random.SeedSequence]:
+    """Derive ``n`` independent child seed sequences from ``rng``.
+
+    Children are independent of each other and of the parent stream, so a
+    per-feature (or per-ensemble-member) work item seeded with child ``i``
+    produces the same values no matter which worker executes it.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    if isinstance(rng, np.random.SeedSequence):
+        return rng.spawn(n)
+    if isinstance(rng, np.random.Generator):
+        # Derive a SeedSequence from the generator's stream so repeated calls
+        # advance (and therefore differ), matching generator semantics.
+        root = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+        return root.spawn(n)
+    return np.random.SeedSequence(rng).spawn(n)
+
+
+def spawn_generators(rng: "int | np.random.Generator | np.random.SeedSequence | None", n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent generators (see :func:`spawn_seeds`)."""
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]

@@ -1,0 +1,73 @@
+"""Tests for the Local Outlier Factor baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lof import LOFDetector, _pairwise_sq_dists
+from repro.data.schema import FeatureSchema
+from repro.utils.exceptions import DataError, NotFittedError
+
+
+class TestPairwiseDistances:
+    def test_matches_manual(self):
+        gen = np.random.default_rng(0)
+        a, b = gen.standard_normal((4, 3)), gen.standard_normal((5, 3))
+        d = _pairwise_sq_dists(a, b)
+        manual = ((a[:, None] - b[None]) ** 2).sum(-1)
+        np.testing.assert_allclose(d, manual, atol=1e-10)
+
+    def test_non_negative(self):
+        x = np.random.default_rng(1).standard_normal((10, 2)) * 1e-8
+        assert (_pairwise_sq_dists(x, x) >= 0).all()
+
+
+class TestLOF:
+    def test_far_outlier_scores_higher(self):
+        gen = np.random.default_rng(0)
+        train = gen.standard_normal((50, 3))
+        det = LOFDetector(n_neighbors=5).fit(train, FeatureSchema.all_real(3))
+        inlier = np.zeros((1, 3))
+        outlier = np.full((1, 3), 8.0)
+        assert det.score(outlier)[0] > det.score(inlier)[0]
+
+    def test_inliers_score_near_one(self):
+        gen = np.random.default_rng(1)
+        train = gen.standard_normal((100, 2))
+        det = LOFDetector(n_neighbors=10).fit(train, FeatureSchema.all_real(2))
+        scores = det.score(gen.standard_normal((30, 2)))
+        assert 0.8 < np.median(scores) < 1.5
+
+    def test_detects_density_outliers(self):
+        """The classic LOF scenario: a point between two clusters of
+        different density."""
+        gen = np.random.default_rng(2)
+        dense = gen.normal(0, 0.3, size=(60, 2))
+        det = LOFDetector(n_neighbors=8).fit(dense, FeatureSchema.all_real(2))
+        edge = np.array([[1.5, 1.5]])
+        assert det.score(edge)[0] > 1.5
+
+    def test_k_capped(self):
+        train = np.random.default_rng(3).standard_normal((5, 2))
+        det = LOFDetector(n_neighbors=50).fit(train, FeatureSchema.all_real(2))
+        assert det._k == 4
+
+    def test_too_few_samples(self):
+        with pytest.raises(DataError):
+            LOFDetector().fit(np.zeros((1, 2)), FeatureSchema.all_real(2))
+
+    def test_bad_neighbors(self):
+        with pytest.raises(DataError):
+            LOFDetector(n_neighbors=0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            LOFDetector().score(np.zeros((1, 2)))
+
+    def test_missing_values_imputed(self):
+        gen = np.random.default_rng(4)
+        train = gen.standard_normal((30, 3))
+        train[0, 0] = np.nan
+        det = LOFDetector(n_neighbors=5).fit(train, FeatureSchema.all_real(3))
+        test = gen.standard_normal((3, 3))
+        test[1, 2] = np.nan
+        assert np.isfinite(det.score(test)).all()

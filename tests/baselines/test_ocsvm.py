@@ -1,0 +1,52 @@
+"""Tests for the one-class SVM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ocsvm import OneClassSVM
+from repro.data.schema import FeatureSchema
+from repro.utils.exceptions import DataError, NotFittedError
+
+
+class TestOneClassSVM:
+    def test_outlier_scores_higher(self):
+        gen = np.random.default_rng(0)
+        train = gen.standard_normal((40, 3)) + 5.0
+        det = OneClassSVM(nu=0.1).fit(train, FeatureSchema.all_real(3))
+        inlier = train.mean(axis=0, keepdims=True)
+        outlier = inlier - 20.0
+        assert det.score(outlier)[0] > det.score(inlier)[0]
+
+    def test_training_outlier_fraction_bounded(self):
+        """The nu property: at most ~nu of training points fall outside."""
+        gen = np.random.default_rng(1)
+        train = gen.standard_normal((100, 2)) + 3.0
+        det = OneClassSVM(nu=0.2).fit(train, FeatureSchema.all_real(2))
+        frac_out = (det.score(train) > 1e-6).mean()
+        assert frac_out <= 0.35  # nu + slack for the solver tolerance
+
+    def test_dual_constraints_satisfied(self):
+        gen = np.random.default_rng(2)
+        train = gen.standard_normal((30, 4))
+        det = OneClassSVM(nu=0.3).fit(train, FeatureSchema.all_real(4))
+        assert det.coef_ is not None and np.isfinite(det.coef_).all()
+
+    @pytest.mark.parametrize("nu", [0.0, 1.5, -0.2])
+    def test_bad_nu(self, nu):
+        with pytest.raises(DataError):
+            OneClassSVM(nu=nu)
+
+    def test_too_few_samples(self):
+        with pytest.raises(DataError):
+            OneClassSVM().fit(np.zeros((1, 2)), FeatureSchema.all_real(2))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            OneClassSVM().score(np.zeros((1, 2)))
+
+    def test_missing_values_imputed(self):
+        gen = np.random.default_rng(3)
+        train = gen.standard_normal((25, 3))
+        train[2, 1] = np.nan
+        det = OneClassSVM().fit(train, FeatureSchema.all_real(3))
+        assert np.isfinite(det.score(gen.standard_normal((4, 3)))).all()

@@ -1,0 +1,78 @@
+"""Shared fixtures: small, fast synthetic data sets and configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FRaCConfig
+from repro.data.replicates import make_replicate
+from repro.data.schema import FeatureSchema
+from repro.data.synthetic import (
+    ExpressionConfig,
+    SNPConfig,
+    make_expression_dataset,
+    make_snp_dataset,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def expression_dataset():
+    """A small expression data set with a clear planted signal."""
+    cfg = ExpressionConfig(
+        n_features=40,
+        n_normal=45,
+        n_anomaly=15,
+        n_modules=4,
+        module_size=8,
+        loading=1.0,
+        noise_sd=0.4,
+        disrupt_fraction=0.6,
+        name="expr-test",
+    )
+    return make_expression_dataset(cfg, rng=7)
+
+
+@pytest.fixture(scope="session")
+def snp_dataset():
+    """A small SNP data set with broken-LD anomalies."""
+    cfg = SNPConfig(
+        n_features=48,
+        n_normal=60,
+        n_anomaly=20,
+        block_size=6,
+        n_haplotypes=4,
+        relevant_blocks=5,
+        name="snp-test",
+    )
+    return make_snp_dataset(cfg, rng=11)
+
+
+@pytest.fixture(scope="session")
+def expression_replicate(expression_dataset):
+    return make_replicate(expression_dataset, rng=3)
+
+
+@pytest.fixture(scope="session")
+def snp_replicate(snp_dataset):
+    return make_replicate(snp_dataset, rng=5)
+
+
+@pytest.fixture
+def fast_config():
+    return FRaCConfig.fast()
+
+
+@pytest.fixture
+def real_schema():
+    return FeatureSchema.all_real(6)
+
+
+@pytest.fixture
+def snp_schema():
+    return FeatureSchema.all_categorical(6, arity=3)

@@ -1,0 +1,39 @@
+"""Tests for FRaCConfig."""
+
+import pytest
+
+from repro.core.config import FRaCConfig
+from repro.utils.exceptions import DataError
+
+
+class TestFRaCConfig:
+    def test_defaults_are_paper_settings(self):
+        cfg = FRaCConfig()
+        assert cfg.regressor == "linear_svr"  # libSVM linear SVM stand-in
+        assert cfg.classifier == "tree"       # Waffles tree stand-in
+        assert cfg.n_folds == 5
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(n_folds=1),
+            dict(n_predictors=0),
+            dict(min_observed=1),
+            dict(sigma_floor=0.0),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(DataError):
+            FRaCConfig(**kw)
+
+    def test_paper_constructors(self):
+        assert FRaCConfig.paper_expression().regressor == "linear_svr"
+        assert FRaCConfig.paper_snp().classifier == "tree"
+
+    def test_fast_overrides(self):
+        cfg = FRaCConfig.fast(n_folds=2)
+        assert cfg.regressor == "ridge" and cfg.n_folds == 2
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            FRaCConfig().n_folds = 3

@@ -1,0 +1,67 @@
+"""Tests for Diverse FRaC (paper §II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FRaCConfig
+from repro.core.diverse import DiverseFRaC
+from repro.eval.auc import auc_score
+from repro.utils.exceptions import DataError, NotFittedError
+
+
+class TestDiverseFRaC:
+    def test_every_feature_has_a_model(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = DiverseFRaC(p=0.5, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        assert set(det.structure()) == set(range(rep.n_features))
+
+    def test_inputs_are_random_subsets(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = DiverseFRaC(p=0.5, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        sizes = [len(v) for v in det.structure().values()]
+        # Binomial(n-1, 1/2): mean about half, never the full set.
+        assert 0.25 * rep.n_features < np.mean(sizes) < 0.75 * rep.n_features
+
+    def test_subsets_differ_across_features(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = DiverseFRaC(p=0.5, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        wiring = det.structure()
+        masks = {tuple(v.tolist()) for v in wiring.values()}
+        assert len(masks) > 1
+
+    def test_accuracy_preserved(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = DiverseFRaC(p=0.5, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        assert auc_score(rep.y_test, det.score(rep.x_test)) > 0.75
+
+    def test_multiple_predictors_per_feature(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = DiverseFRaC(p=0.3, n_predictors=2, config=fast_config, rng=0)
+        det.fit(rep.x_train, rep.schema)
+        assert len(det._inner.models_) == 2 * rep.n_features
+        cm = det.contributions(rep.x_test)
+        # Each feature id appears twice (two predictor slots).
+        ids, counts = np.unique(cm.feature_ids, return_counts=True)
+        assert (counts == 2).all()
+
+    def test_memory_cheaper_than_full(self, expression_replicate, fast_config):
+        from repro.core.frac import FRaC
+
+        rep = expression_replicate
+        full = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        det = DiverseFRaC(p=0.25, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        assert det.resources.memory_bytes < full.resources.memory_bytes
+
+    def test_bad_p(self):
+        with pytest.raises(DataError):
+            DiverseFRaC(p=1.5)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            DiverseFRaC().score(np.zeros((1, 2)))
+
+    def test_deterministic(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        a = DiverseFRaC(p=0.5, config=fast_config, rng=9).fit(rep.x_train, rep.schema)
+        b = DiverseFRaC(p=0.5, config=fast_config, rng=9).fit(rep.x_train, rep.schema)
+        np.testing.assert_array_equal(a.score(rep.x_test), b.score(rep.x_test))

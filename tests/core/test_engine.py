@@ -1,0 +1,130 @@
+"""Tests for the per-feature FRaC engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FRaCConfig
+from repro.core.engine import (
+    FeatureTask,
+    SharedTrainState,
+    kfold_indices,
+    run_feature_task,
+    score_contributions,
+)
+from repro.core.types import FeatureModel
+from repro.data.schema import FeatureSchema
+from repro.errormodels.gaussian import GaussianErrorModel
+from repro.parallel.executor import run_tasks
+from repro.utils.exceptions import DataError
+
+
+class TestKFold:
+    def test_partition(self):
+        folds = kfold_indices(10, 3, np.random.default_rng(0))
+        assert len(folds) == 3
+        all_holdout = np.concatenate([h for _, h in folds])
+        np.testing.assert_array_equal(np.sort(all_holdout), np.arange(10))
+
+    def test_train_holdout_disjoint(self):
+        for train, holdout in kfold_indices(12, 4, np.random.default_rng(1)):
+            assert not set(train) & set(holdout)
+            assert len(train) + len(holdout) == 12
+
+    def test_k_capped_at_n(self):
+        folds = kfold_indices(3, 10, np.random.default_rng(2))
+        assert len(folds) == 3
+
+    def test_minimum_two_folds(self):
+        folds = kfold_indices(5, 1, np.random.default_rng(3))
+        assert len(folds) == 2
+
+    def test_too_few_samples(self):
+        with pytest.raises(DataError):
+            kfold_indices(1, 2, np.random.default_rng(0))
+
+    def test_deterministic(self):
+        a = kfold_indices(8, 3, np.random.default_rng(5))
+        b = kfold_indices(8, 3, np.random.default_rng(5))
+        for (ta, ha), (tb, hb) in zip(a, b):
+            np.testing.assert_array_equal(ta, tb)
+            np.testing.assert_array_equal(ha, hb)
+
+
+def _run_task(x, schema, target=0, inputs=None, config=None):
+    config = config or FRaCConfig.fast()
+    inputs = (
+        np.delete(np.arange(x.shape[1]), target) if inputs is None else np.asarray(inputs)
+    )
+    shared = SharedTrainState(
+        x_imputed=np.nan_to_num(x), x_targets=x, schema=schema, config=config
+    )
+    task = FeatureTask(feature_id=target, input_ids=inputs, seed=0)
+    return run_tasks(run_feature_task, [task], shared=shared)[0]
+
+
+class TestRunFeatureTask:
+    def test_real_feature_model(self):
+        gen = np.random.default_rng(0)
+        x = gen.standard_normal((30, 4))
+        x[:, 0] = x[:, 1] * 2.0 + 0.05 * gen.standard_normal(30)
+        model, cost = _run_task(x, FeatureSchema.all_real(4))
+        assert isinstance(model, FeatureModel)
+        assert model.feature_id == 0
+        assert np.isfinite(model.entropy)
+        assert cost.cpu_seconds >= 0
+        assert cost.design_bytes == 30 * 3 * 8
+        # The linear relation is learnable -> low CV surprisal.
+        assert model.cv_mean_surprisal < 1.0
+
+    def test_categorical_feature_model(self):
+        gen = np.random.default_rng(1)
+        z = gen.integers(0, 3, size=40).astype(float)
+        x = np.column_stack([z, z, gen.integers(0, 3, 40).astype(float)])
+        model, _ = _run_task(x, FeatureSchema.all_categorical(3))
+        from repro.errormodels.confusion import ConfusionErrorModel
+
+        assert isinstance(model.error_model, ConfusionErrorModel)
+
+    def test_skips_underobserved_feature(self):
+        x = np.random.default_rng(2).standard_normal((10, 3))
+        x[:-2, 0] = np.nan  # only 2 observed values < min_observed
+        result = _run_task(x, FeatureSchema.all_real(3))
+        assert result is None
+
+    def test_missing_target_rows_excluded(self):
+        gen = np.random.default_rng(3)
+        x = gen.standard_normal((20, 3))
+        x[:5, 0] = np.nan
+        model, cost = _run_task(x, FeatureSchema.all_real(3))
+        assert cost.design_bytes == 15 * 2 * 8
+
+    def test_zero_inputs_uses_dummy_like_model(self):
+        gen = np.random.default_rng(4)
+        x = gen.standard_normal((15, 2))
+        model, _ = _run_task(x, FeatureSchema.all_real(2), inputs=[])
+        assert model.input_ids.size == 0
+
+
+class TestScoreContributions:
+    def test_missing_test_target_contributes_zero(self):
+        gen = np.random.default_rng(5)
+        x = gen.standard_normal((25, 3))
+        model, _ = _run_task(x, FeatureSchema.all_real(3))
+        x_test = gen.standard_normal((4, 3))
+        x_targets = x_test.copy()
+        x_targets[2, 0] = np.nan
+        contrib = score_contributions([model], x_test, x_targets)
+        assert contrib.shape == (4, 1)
+        assert contrib[2, 0] == 0.0
+        assert (contrib[[0, 1, 3], 0] != 0.0).all()
+
+    def test_anomalous_value_scores_higher(self):
+        gen = np.random.default_rng(6)
+        x = gen.standard_normal((40, 3))
+        x[:, 0] = x[:, 1] + 0.05 * gen.standard_normal(40)
+        model, _ = _run_task(x, FeatureSchema.all_real(3))
+        ok = np.array([[1.0, 1.0, 0.0]])
+        broken = np.array([[-3.0, 1.0, 0.0]])  # violates f0 = f1
+        c_ok = score_contributions([model], ok, ok)
+        c_broken = score_contributions([model], broken, broken)
+        assert c_broken[0, 0] > c_ok[0, 0]

@@ -1,0 +1,125 @@
+"""Tests for filtering (paper §II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FRaCConfig
+from repro.core.filtering import (
+    FilteredFRaC,
+    entropy_filter,
+    filter_size,
+    random_filter,
+)
+from repro.data.schema import FeatureSchema
+from repro.eval.auc import auc_score
+from repro.utils.exceptions import DataError, NotFittedError
+
+
+class TestFilterSize:
+    def test_rounding(self):
+        assert filter_size(100, 0.05) == 5
+        assert filter_size(100, 1.0) == 100
+
+    def test_floor_of_two(self):
+        assert filter_size(10, 0.01) == 2
+
+
+class TestRandomFilter:
+    def test_size_and_range(self):
+        kept = random_filter(200, 0.1, rng=0)
+        assert len(kept) == 20
+        assert kept.min() >= 0 and kept.max() < 200
+        assert len(np.unique(kept)) == 20
+
+    def test_sorted(self):
+        kept = random_filter(50, 0.5, rng=1)
+        assert (np.diff(kept) > 0).all()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(random_filter(100, 0.2, 5), random_filter(100, 0.2, 5))
+
+    def test_bad_p(self):
+        with pytest.raises(DataError):
+            random_filter(10, 0.0)
+
+
+class TestEntropyFilter:
+    def test_keeps_high_entropy_real(self):
+        gen = np.random.default_rng(0)
+        x = np.column_stack(
+            [gen.normal(0, 5, 100), gen.normal(0, 1, 100), gen.normal(0, 0.1, 100)]
+        )
+        kept = entropy_filter(x, FeatureSchema.all_real(3), 0.67)
+        np.testing.assert_array_equal(kept, [0, 1])
+
+    def test_keeps_high_entropy_categorical(self):
+        gen = np.random.default_rng(1)
+        uniform = [gen.integers(0, 3, 200).astype(float) for _ in range(2)]
+        skewed = [(gen.random(200) < 0.05).astype(float) for _ in range(2)]
+        x = np.column_stack([skewed[0], uniform[0], skewed[1], uniform[1]])
+        kept = entropy_filter(x, FeatureSchema.all_categorical(4, arity=3), 0.5)
+        np.testing.assert_array_equal(kept, [1, 3])
+
+    def test_deterministic_tie_break(self):
+        x = np.zeros((10, 4))
+        kept = entropy_filter(x, FeatureSchema.all_real(4), 0.5)
+        np.testing.assert_array_equal(kept, [0, 1])
+
+
+class TestFilteredFRaC:
+    def test_full_mode_trains_on_kept_only(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = FilteredFRaC(p=0.3, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        kept = set(det.kept_features_.tolist())
+        for target, inputs in det.structure().items():
+            assert target in kept
+            assert set(inputs.tolist()) <= kept - {target}
+
+    def test_partial_mode_trains_on_all(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = FilteredFRaC(p=0.3, mode="partial", config=fast_config, rng=0)
+        det.fit(rep.x_train, rep.schema)
+        kept = set(det.kept_features_.tolist())
+        for target, inputs in det.structure().items():
+            assert target in kept
+            assert len(inputs) == rep.n_features - 1
+
+    def test_full_cheaper_than_partial(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        full_mode = FilteredFRaC(p=0.2, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        partial = FilteredFRaC(p=0.2, mode="partial", config=fast_config, rng=0).fit(
+            rep.x_train, rep.schema
+        )
+        assert full_mode.resources.memory_bytes < partial.resources.memory_bytes
+
+    def test_entropy_method(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = FilteredFRaC(p=0.3, method="entropy", config=fast_config, rng=0)
+        det.fit(rep.x_train, rep.schema)
+        scores = det.score(rep.x_test)
+        assert np.isfinite(scores).all()
+
+    def test_scores_still_informative(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = FilteredFRaC(p=0.5, config=fast_config, rng=3).fit(rep.x_train, rep.schema)
+        assert auc_score(rep.y_test, det.score(rep.x_test)) > 0.6
+
+    @pytest.mark.parametrize(
+        "kw", [dict(p=0.0), dict(method="pca"), dict(mode="half")]
+    )
+    def test_bad_params(self, kw):
+        with pytest.raises(DataError):
+            FilteredFRaC(**kw)
+
+    def test_unfitted(self):
+        det = FilteredFRaC()
+        with pytest.raises(NotFittedError):
+            det.score(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            _ = det.resources
+
+    def test_contributions_cover_kept_features(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = FilteredFRaC(p=0.25, config=fast_config, rng=1).fit(rep.x_train, rep.schema)
+        cm = det.contributions(rep.x_test)
+        np.testing.assert_array_equal(np.sort(cm.feature_ids), det.kept_features_)

@@ -1,0 +1,61 @@
+"""Additional filtering-behaviour tests (hypothesis + edge geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filtering import entropy_filter, filter_size, random_filter
+from repro.data.schema import FeatureSchema
+
+
+class TestFilterSizeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(2, 10_000), p=st.floats(0.001, 1.0))
+    def test_bounds(self, n, p):
+        k = filter_size(n, p)
+        assert 2 <= k <= max(n, 2)
+        # Within one of the exact fraction (plus the floor).
+        assert abs(k - p * n) <= max(0.5, 2 - p * n) + 0.5
+
+
+class TestRandomFilterProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(4, 500), seed=st.integers(0, 1000))
+    def test_subset_invariants(self, n, seed):
+        kept = random_filter(n, 0.3, rng=seed)
+        assert len(np.unique(kept)) == len(kept)
+        assert (np.diff(kept) > 0).all()
+        assert kept.min() >= 0 and kept.max() < n
+
+    def test_coverage_over_many_draws(self):
+        """Every feature is eventually kept by some draw (uniformity)."""
+        hits = np.zeros(40, dtype=bool)
+        for seed in range(60):
+            hits[random_filter(40, 0.2, rng=seed)] = True
+        assert hits.all()
+
+
+class TestEntropyFilterProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_kept_set_has_max_entropy_sum(self, seed):
+        """No swap of a kept feature for a dropped one can raise total
+        entropy (i.e. the filter keeps a top-k set)."""
+        from repro.errormodels.entropy import dataset_entropies
+
+        gen = np.random.default_rng(seed)
+        x = gen.standard_normal((40, 10)) * gen.uniform(0.2, 3.0, size=10)
+        schema = FeatureSchema.all_real(10)
+        kept = entropy_filter(x, schema, 0.4)
+        ents = dataset_entropies(x, schema)
+        dropped = np.setdiff1d(np.arange(10), kept)
+        if len(dropped):
+            assert ents[kept].min() >= ents[dropped].max() - 1e-9
+
+    def test_deterministic(self):
+        gen = np.random.default_rng(0)
+        x = gen.standard_normal((30, 8))
+        schema = FeatureSchema.all_real(8)
+        np.testing.assert_array_equal(
+            entropy_filter(x, schema, 0.5), entropy_filter(x, schema, 0.5)
+        )

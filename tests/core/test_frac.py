@@ -1,0 +1,209 @@
+"""Tests for the FRaC detector itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FRaCConfig
+from repro.core.frac import FRaC, all_others_selector, diverse_selector, subset_selector
+from repro.data.schema import FeatureSchema
+from repro.eval.auc import auc_score
+from repro.parallel.executor import ExecutionConfig
+from repro.utils.exceptions import DataError, NotFittedError
+
+
+class TestSelectors:
+    def test_all_others(self):
+        sel = all_others_selector(5)
+        np.testing.assert_array_equal(sel(2, 0, None), [0, 1, 3, 4])
+
+    def test_subset(self):
+        sel = subset_selector(np.array([1, 3, 4]))
+        np.testing.assert_array_equal(sel(3, 0, None), [1, 4])
+        np.testing.assert_array_equal(sel(0, 0, None), [1, 3, 4])
+
+    def test_diverse_probability(self):
+        sel = diverse_selector(200, 0.5)
+        gen = np.random.default_rng(0)
+        sizes = [len(sel(0, j, gen)) for j in range(30)]
+        assert 70 < np.mean(sizes) < 130
+
+    def test_diverse_never_empty(self):
+        sel = diverse_selector(3, 0.01)
+        gen = np.random.default_rng(1)
+        for _ in range(50):
+            assert len(sel(0, 0, gen)) >= 1
+
+    def test_diverse_excludes_target(self):
+        sel = diverse_selector(10, 0.9)
+        gen = np.random.default_rng(2)
+        for target in range(10):
+            assert target not in sel(target, 0, gen)
+
+    def test_diverse_bad_p(self):
+        with pytest.raises(DataError):
+            diverse_selector(5, 0.0)
+
+
+class TestFRaCFit:
+    def test_detects_planted_anomalies(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        auc = auc_score(rep.y_test, frac.score(rep.x_test))
+        assert auc > 0.8
+
+    def test_snp_data(self, snp_replicate, fast_config):
+        rep = snp_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        auc = auc_score(rep.y_test, frac.score(rep.x_test))
+        assert auc > 0.6
+
+    def test_one_model_per_feature(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        assert len(frac.models_) == rep.n_features
+        assert frac.n_skipped_ == 0
+
+    def test_target_features_subset(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, target_features=[0, 5, 7], rng=0)
+        frac.fit(rep.x_train, rep.schema)
+        assert sorted(m.feature_id for m in frac.models_) == [0, 5, 7]
+
+    def test_empty_targets_rejected(self, expression_replicate, fast_config):
+        with pytest.raises(DataError):
+            FRaC(fast_config, target_features=[]).fit(
+                expression_replicate.x_train, expression_replicate.schema
+            )
+
+    def test_out_of_range_targets(self, expression_replicate, fast_config):
+        with pytest.raises(DataError):
+            FRaC(fast_config, target_features=[9999]).fit(
+                expression_replicate.x_train, expression_replicate.schema
+            )
+
+    def test_bad_selector_ids(self, expression_replicate, fast_config):
+        frac = FRaC(fast_config, input_selector=lambda t, j, g: np.array([10_000]))
+        with pytest.raises(DataError, match="out-of-range"):
+            frac.fit(expression_replicate.x_train, expression_replicate.schema)
+
+    def test_schema_width_mismatch(self, fast_config):
+        with pytest.raises(DataError):
+            FRaC(fast_config).fit(np.zeros((5, 3)), FeatureSchema.all_real(4))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            FRaC().score(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            _ = FRaC().resources
+        with pytest.raises(NotFittedError):
+            FRaC().structure()
+
+    def test_n_predictors(self, expression_replicate):
+        cfg = FRaCConfig.fast(n_predictors=2)
+        rep = expression_replicate
+        frac = FRaC(cfg, target_features=[0, 1], rng=0).fit(rep.x_train, rep.schema)
+        assert len(frac.models_) == 4  # 2 targets x 2 slots
+
+
+class TestFRaCScore:
+    def test_contributions_shape(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        cm = frac.contributions(rep.x_test)
+        assert cm.values.shape == (rep.n_test, rep.n_features)
+        np.testing.assert_array_equal(np.sort(cm.feature_ids), np.arange(rep.n_features))
+
+    def test_ns_is_sum_of_contributions(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        cm = frac.contributions(rep.x_test)
+        np.testing.assert_allclose(frac.score(rep.x_test), cm.values.sum(axis=1))
+
+    def test_deterministic(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        a = FRaC(fast_config, rng=42).fit(rep.x_train, rep.schema).score(rep.x_test)
+        b = FRaC(fast_config, rng=42).fit(rep.x_train, rep.schema).score(rep.x_test)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_executor_mode_invariance(self, expression_replicate, mode):
+        """Serial, thread, and process execution give identical NS scores."""
+        rep = expression_replicate
+        serial = FRaC(FRaCConfig.fast(), rng=7).fit(rep.x_train, rep.schema)
+        cfg = FRaCConfig.fast(execution=ExecutionConfig(mode=mode, n_workers=2))
+        pooled = FRaC(cfg, rng=7).fit(rep.x_train, rep.schema)
+        np.testing.assert_allclose(
+            serial.score(rep.x_test), pooled.score(rep.x_test), rtol=1e-10
+        )
+
+    def test_affine_feature_invariance(self, fast_config):
+        """NS is invariant under per-feature affine rescaling (DESIGN §6):
+        standardization makes the engine see identical data."""
+        gen = np.random.default_rng(0)
+        x = gen.standard_normal((40, 6))
+        x[:, 0] = x[:, 1] + 0.1 * gen.standard_normal(40)
+        schema = FeatureSchema.all_real(6)
+        test = gen.standard_normal((10, 6))
+        base = FRaC(fast_config, rng=3).fit(x, schema).score(test)
+        scale = np.array([2.0, 0.5, 3.0, 1.0, 10.0, 0.1])
+        shift = np.array([1.0, -2.0, 0.0, 5.0, 0.3, 7.0])
+        moved = FRaC(fast_config, rng=3).fit(x * scale + shift, schema).score(
+            test * scale + shift
+        )
+        np.testing.assert_allclose(base, moved, atol=1e-6)
+
+    def test_missing_values_everywhere_still_works(self, fast_config):
+        gen = np.random.default_rng(1)
+        x = gen.standard_normal((40, 8))
+        x[gen.random((40, 8)) < 0.1] = np.nan
+        schema = FeatureSchema.all_real(8)
+        frac = FRaC(fast_config, rng=0).fit(x, schema)
+        test = gen.standard_normal((6, 8))
+        test[gen.random((6, 8)) < 0.1] = np.nan
+        scores = frac.score(test)
+        assert np.isfinite(scores).all()
+
+    def test_constant_feature_handled(self, fast_config):
+        gen = np.random.default_rng(2)
+        x = gen.standard_normal((30, 5))
+        x[:, 3] = 4.2  # constant in training
+        frac = FRaC(fast_config, rng=0).fit(x, FeatureSchema.all_real(5))
+        scores = frac.score(gen.standard_normal((5, 5)))
+        assert np.isfinite(scores).all()
+
+
+class TestFRaCIntrospection:
+    def test_structure(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        wiring = frac.structure()
+        assert set(wiring) == set(range(rep.n_features))
+        for target, inputs in wiring.items():
+            assert target not in inputs
+            assert len(inputs) == rep.n_features - 1
+
+    def test_model_quality_sorted(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        q = frac.model_quality()
+        assert q.shape == (rep.n_features, 2)
+        # Information gain, most predictive (highest) first.
+        assert (np.diff(q[:, 1]) <= 0).all()
+
+    def test_module_features_most_predictable(self, expression_dataset, fast_config):
+        """Planted module features must rank as the most predictive models
+        (the basis of the paper's biological interpretation)."""
+        ds = expression_dataset
+        frac = FRaC(fast_config, rng=0).fit(ds.normals().x, ds.schema)
+        top = frac.model_quality()[:10, 0].astype(int)
+        relevant = set(ds.metadata["relevant_features"].tolist())
+        hits = sum(1 for f in top if f in relevant)
+        assert hits >= 8
+
+    def test_resources_populated(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        frac = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        res = frac.resources
+        assert res.cpu_seconds > 0
+        assert res.memory_bytes > rep.x_train.nbytes
+        assert res.n_tasks == rep.n_features

@@ -1,0 +1,85 @@
+"""Tests for the preprocessor (standardization + imputation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.imputation import Preprocessor
+from repro.data.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.utils.exceptions import DataError, NotFittedError
+
+
+def _mixed_schema():
+    return FeatureSchema(
+        [FeatureSpec(FeatureKind.REAL), FeatureSpec(FeatureKind.CATEGORICAL, arity=3)]
+    )
+
+
+class TestPreprocessor:
+    def test_standardizes_real(self):
+        schema = FeatureSchema.all_real(1)
+        x = np.array([[0.0], [2.0], [4.0]])
+        pre = Preprocessor(schema).fit(x)
+        out = pre.transform(x)
+        np.testing.assert_allclose(out.mean(), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(), 1.0)
+
+    def test_no_standardize_mode(self):
+        schema = FeatureSchema.all_real(1)
+        x = np.array([[0.0], [2.0]])
+        out = Preprocessor(schema, standardize=False).fit(x).transform(x)
+        np.testing.assert_array_equal(out, x)
+
+    def test_categorical_untouched(self):
+        x = np.array([[1.5, 0.0], [2.5, 2.0], [3.5, 2.0]])
+        pre = Preprocessor(_mixed_schema()).fit(x)
+        out = pre.transform(x)
+        np.testing.assert_array_equal(out[:, 1], x[:, 1])
+
+    def test_imputes_real_with_mean(self):
+        schema = FeatureSchema.all_real(1)
+        x = np.array([[0.0], [2.0], [np.nan]])
+        pre = Preprocessor(schema).fit(x)
+        out = pre.transform(x)
+        # Standardized mean is zero -> missing becomes 0.
+        assert out[2, 0] == 0.0
+
+    def test_imputes_real_mean_unstandardized(self):
+        schema = FeatureSchema.all_real(1)
+        x = np.array([[0.0], [2.0], [np.nan]])
+        out = Preprocessor(schema, standardize=False).fit(x).transform(x)
+        assert out[2, 0] == 1.0
+
+    def test_imputes_categorical_with_mode(self):
+        x = np.array([[0.0, 0.0], [0.0, 2.0], [0.0, 2.0], [0.0, np.nan]])
+        out = Preprocessor(_mixed_schema()).fit(x).transform(x)
+        assert out[3, 1] == 2.0
+
+    def test_keep_missing_variant(self):
+        schema = FeatureSchema.all_real(1)
+        x = np.array([[0.0], [2.0], [np.nan]])
+        pre = Preprocessor(schema).fit(x)
+        out = pre.transform_keep_missing(x)
+        assert np.isnan(out[2, 0])
+        assert np.isfinite(out[:2, 0]).all()
+
+    def test_constant_column_scale_one(self):
+        schema = FeatureSchema.all_real(1)
+        x = np.full((4, 1), 7.0)
+        pre = Preprocessor(schema).fit(x)
+        out = pre.transform(x)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_all_missing_column_raises(self):
+        schema = FeatureSchema.all_real(1)
+        with pytest.raises(DataError, match="no observed"):
+            Preprocessor(schema).fit(np.array([[np.nan], [np.nan]]))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            Preprocessor(FeatureSchema.all_real(1)).transform(np.zeros((1, 1)))
+
+    def test_test_set_uses_train_stats(self):
+        schema = FeatureSchema.all_real(1)
+        pre = Preprocessor(schema).fit(np.array([[0.0], [2.0]]))
+        out = pre.transform(np.array([[4.0]]))
+        np.testing.assert_allclose(out[0, 0], 3.0)  # (4 - 1) / 1

@@ -1,0 +1,82 @@
+"""Tests for JL pre-projection FRaC (paper §II-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.frac import FRaC
+from repro.core.preprojection import JLFRaC
+from repro.eval.auc import auc_score
+from repro.utils.exceptions import NotFittedError
+
+
+class TestJLFRaC:
+    def test_detects_planted_anomalies(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = JLFRaC(n_components=16, config=fast_config, rng=0)
+        det.fit(rep.x_train, rep.schema)
+        assert auc_score(rep.y_test, det.score(rep.x_test)) > 0.75
+
+    def test_projected_space_is_all_real_even_for_snps(self, snp_replicate, fast_config):
+        rep = snp_replicate
+        det = JLFRaC(n_components=12, config=fast_config, rng=0)
+        det.fit(rep.x_train, rep.schema)
+        assert det._projected_schema.is_all_real
+        assert np.isfinite(det.score(rep.x_test)).all()
+
+    def test_models_projected_components(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = JLFRaC(n_components=10, config=fast_config, rng=0)
+        det.fit(rep.x_train, rep.schema)
+        cm = det.contributions(rep.x_test)
+        assert cm.values.shape == (rep.n_test, 10)
+        np.testing.assert_array_equal(np.sort(cm.feature_ids), np.arange(10))
+
+    def test_fewer_models_than_full(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = JLFRaC(n_components=8, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        full = FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        assert det.resources.n_tasks == 8 < full.resources.n_tasks
+
+    def test_resources_include_projection(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        det = JLFRaC(n_components=8, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        # The JL matrix itself is counted.
+        assert det.resources.memory_bytes >= det.projection_.matrix_.nbytes
+
+    def test_feature_influence_shape(self, snp_replicate, fast_config):
+        rep = snp_replicate
+        det = JLFRaC(n_components=8, config=fast_config, rng=0).fit(rep.x_train, rep.schema)
+        infl = det.feature_influence()
+        assert infl.shape == (rep.n_features,)
+        assert (infl >= 0).all()
+
+    def test_handles_missing_values(self, fast_config):
+        from repro.data.schema import FeatureSchema
+
+        gen = np.random.default_rng(0)
+        x = gen.standard_normal((30, 12))
+        x[gen.random((30, 12)) < 0.1] = np.nan
+        det = JLFRaC(n_components=6, config=fast_config, rng=0)
+        det.fit(x, FeatureSchema.all_real(12))
+        test = gen.standard_normal((5, 12))
+        test[0, 3] = np.nan
+        assert np.isfinite(det.score(test)).all()
+
+    def test_unfitted(self):
+        det = JLFRaC(n_components=4)
+        with pytest.raises(NotFittedError):
+            det.score(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            det.feature_influence()
+
+    def test_deterministic(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        a = JLFRaC(n_components=8, config=fast_config, rng=6).fit(rep.x_train, rep.schema)
+        b = JLFRaC(n_components=8, config=fast_config, rng=6).fit(rep.x_train, rep.schema)
+        np.testing.assert_array_equal(a.score(rep.x_test), b.score(rep.x_test))
+
+    def test_different_seeds_different_projections(self, expression_replicate, fast_config):
+        rep = expression_replicate
+        a = JLFRaC(n_components=8, config=fast_config, rng=1).fit(rep.x_train, rep.schema)
+        b = JLFRaC(n_components=8, config=fast_config, rng=2).fit(rep.x_train, rep.schema)
+        assert not np.array_equal(a.projection_.matrix_, b.projection_.matrix_)

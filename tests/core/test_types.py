@@ -1,0 +1,64 @@
+"""Tests for core data types."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import AnomalyDetector, ContributionMatrix, FeatureModel
+from repro.errormodels.gaussian import GaussianErrorModel
+from repro.utils.exceptions import DataError
+
+
+class TestContributionMatrix:
+    def test_ns_scores_sum_rows(self):
+        cm = ContributionMatrix(
+            values=np.array([[1.0, 2.0], [3.0, -1.0]]),
+            feature_ids=np.array([0, 1], dtype=np.intp),
+        )
+        np.testing.assert_allclose(cm.ns_scores(), [3.0, 2.0])
+        assert cm.n_samples == 2
+
+    def test_rejects_1d_values(self):
+        with pytest.raises(DataError):
+            ContributionMatrix(
+                values=np.zeros(3), feature_ids=np.array([0], dtype=np.intp)
+            )
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(DataError):
+            ContributionMatrix(
+                values=np.zeros((2, 3)), feature_ids=np.array([0, 1], dtype=np.intp)
+            )
+
+    def test_duplicate_ids_allowed(self):
+        """Multiple predictor slots per feature reuse the id."""
+        cm = ContributionMatrix(
+            values=np.zeros((1, 2)), feature_ids=np.array([5, 5], dtype=np.intp)
+        )
+        assert cm.ns_scores()[0] == 0.0
+
+
+class TestFeatureModel:
+    def test_fields(self):
+        em = GaussianErrorModel().fit(np.zeros(4), np.array([0.0, 1, -1, 0]))
+        fm = FeatureModel(
+            feature_id=3,
+            input_ids=np.array([0, 1], dtype=np.intp),
+            predictor=None,
+            error_model=em,
+            entropy=1.5,
+        )
+        assert fm.feature_id == 3 and np.isnan(fm.cv_mean_surprisal)
+
+
+class TestAnomalyDetectorBase:
+    def test_default_resources_are_empty(self):
+        class Dummy(AnomalyDetector):
+            def fit(self, x, schema):
+                return self
+
+            def score(self, x):
+                return np.zeros(x.shape[0])
+
+        det = Dummy()
+        assert det.resources.cpu_seconds == 0.0
+        assert det.resources.memory_bytes == 0

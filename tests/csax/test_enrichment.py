@@ -1,0 +1,139 @@
+"""Tests for the CSAX enrichment statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.csax.enrichment import (
+    characterize_sample,
+    hypergeometric_set_enrichment,
+    permutation_p_value,
+    rank_enrichment_score,
+)
+from repro.utils.exceptions import DataError
+
+
+class TestHypergeometricSetEnrichment:
+    def test_perfect_enrichment(self):
+        ranking = np.arange(100)
+        gene_set = np.arange(10)  # exactly the top 10
+        e = hypergeometric_set_enrichment(
+            ranking, gene_set, n_top=10, n_features=100, set_name="s"
+        )
+        assert e.n_hits == 10
+        assert e.p_value < 1e-10
+        assert e.score == 1.0
+
+    def test_no_enrichment(self):
+        ranking = np.arange(100)
+        gene_set = np.arange(90, 100)  # the bottom 10
+        e = hypergeometric_set_enrichment(ranking, gene_set, n_top=10, n_features=100)
+        assert e.n_hits == 0 and e.p_value == 1.0
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DataError):
+            hypergeometric_set_enrichment(np.arange(10), np.array([]), n_top=3, n_features=10)
+
+
+class TestRankEnrichmentScore:
+    def test_top_concentration_scores_high(self):
+        ranking = np.arange(50)
+        assert rank_enrichment_score(ranking, np.arange(5)) > 0.85
+
+    def test_bottom_concentration_scores_negative(self):
+        ranking = np.arange(50)
+        assert rank_enrichment_score(ranking, np.arange(45, 50)) < -0.85
+
+    def test_uniform_scatter_scores_small(self):
+        ranking = np.arange(100)
+        scattered = np.arange(0, 100, 10)
+        assert abs(rank_enrichment_score(ranking, scattered)) < 0.25
+
+    @pytest.mark.parametrize("bad_set", [[], list(range(50))])
+    def test_degenerate_sets(self, bad_set):
+        with pytest.raises(DataError):
+            rank_enrichment_score(np.arange(50), np.array(bad_set))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 200), m=st.integers(1, 10))
+    def test_score_bounded(self, seed, m):
+        gen = np.random.default_rng(seed)
+        ranking = gen.permutation(40)
+        gene_set = gen.choice(40, size=m, replace=False)
+        s = rank_enrichment_score(ranking, gene_set)
+        assert -1.0 <= s <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_invariant_to_nonmember_order(self, seed):
+        """The score depends only on member positions."""
+        gen = np.random.default_rng(seed)
+        ranking = np.arange(30)
+        gene_set = np.array([3, 7, 20])
+        base = rank_enrichment_score(ranking, gene_set)
+        # Shuffle non-members while keeping member positions fixed.
+        shuffled = ranking.copy()
+        non_positions = [i for i, f in enumerate(ranking) if f not in set(gene_set.tolist())]
+        values = shuffled[non_positions]
+        gen.shuffle(values)
+        shuffled[non_positions] = values
+        np.testing.assert_allclose(
+            rank_enrichment_score(shuffled, gene_set), base
+        )
+
+
+class TestPermutationPValue:
+    def test_planted_signal_significant(self):
+        ranking = np.arange(60)
+        score, p = permutation_p_value(ranking, np.arange(6), n_permutations=200, rng=0)
+        assert score > 0.8
+        assert p <= 0.01
+
+    def test_random_set_not_significant(self):
+        gen = np.random.default_rng(1)
+        ranking = gen.permutation(60)
+        score, p = permutation_p_value(
+            ranking, gen.choice(60, 6, replace=False), n_permutations=100, rng=2
+        )
+        assert p > 0.01 or abs(score) < 0.5
+
+    def test_p_floor(self):
+        _, p = permutation_p_value(np.arange(40), np.arange(4), n_permutations=50, rng=0)
+        assert p >= 1.0 / 50
+
+
+class TestCharacterizeSample:
+    def test_ranks_sets_by_significance(self):
+        ranking = np.arange(100)
+        gene_sets = {
+            "dysregulated": list(range(8)),       # at the very top
+            "background": list(range(50, 58)),    # mid-pack
+        }
+        results = characterize_sample(ranking, gene_sets, n_top=10, n_features=100)
+        assert results[0].set_name == "dysregulated"
+        assert results[0].p_value < results[1].p_value
+
+    def test_end_to_end_with_frac(self, expression_dataset, fast_config):
+        """Full CSAX loop: bootstrap FRaC -> per-sample ranking -> the
+        planted module is the top characterization."""
+        from repro.csax.bootstrap import BootstrapFRaC
+
+        ds = expression_dataset
+        module_of = ds.metadata["module_of"]
+        gene_sets = {
+            f"module{m}": np.flatnonzero(module_of == m).tolist()
+            for m in range(int(module_of.max()) + 1)
+        }
+        gene_sets["random"] = np.flatnonzero(module_of < 0)[:8].tolist()
+
+        det = BootstrapFRaC(n_runs=3, config=fast_config, rng=0)
+        det.fit(ds.normals().x, ds.schema)
+        bs = det.bootstrap_scores(ds.anomalies().x[:1])
+        ranking = bs.feature_ids[np.argsort(bs.median_ranks()[0])]
+        results = characterize_sample(
+            ranking, gene_sets, n_top=12, n_features=ds.n_features
+        )
+        # Some planted module should beat the irrelevant-feature set.
+        module_ps = [r.p_value for r in results if r.set_name.startswith("module")]
+        random_p = next(r.p_value for r in results if r.set_name == "random")
+        assert min(module_ps) <= random_p

@@ -1,0 +1,106 @@
+"""Tests for the Table-I compendium registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.compendium import (
+    COMPENDIUM,
+    EXPRESSION_DATASETS,
+    SNP_DATASETS,
+    load_dataset,
+    load_replicates,
+    schizophrenia_split,
+    table1_rows,
+)
+from repro.utils.exceptions import DataError
+
+#: Table I of the paper, verbatim.
+PAPER_TABLE1 = {
+    "breast.basal": (3167, 56, 19),
+    "biomarkers": (19739, 74, 53),
+    "ethnic": (19739, 95, 96),
+    "bild": (20607, 48, 7),
+    "smokers2": (19739, 40, 39),
+    "hematopoiesis": (13322, 97, 91),
+    "autism": (7267, 317, 228),
+    "schizophrenia": (171763, 280, 54),
+}
+
+
+class TestRegistry:
+    def test_all_eight_datasets(self):
+        assert set(COMPENDIUM) == set(PAPER_TABLE1)
+        assert len(EXPRESSION_DATASETS) == 6 and len(SNP_DATASETS) == 2
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE1))
+    def test_paper_geometry_recorded(self, name):
+        f, n, a = PAPER_TABLE1[name]
+        e = COMPENDIUM[name]
+        assert (e.paper_features, e.paper_normal, e.paper_anomaly) == (f, n, a)
+
+    def test_table1_rows_full_scale(self):
+        rows = {r["data set"]: r for r in table1_rows()}
+        for name, (f, n, a) in PAPER_TABLE1.items():
+            assert rows[name]["features"] == f
+            assert rows[name]["normal"] == n
+            assert rows[name]["anomaly"] == a
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DataError, match="unknown"):
+            load_dataset("nope")
+
+    def test_bad_scale(self):
+        with pytest.raises(DataError):
+            load_dataset("autism", scale=0)
+
+
+class TestScaledLoading:
+    def test_scaled_geometry(self):
+        ds = load_dataset("biomarkers", scale=1 / 128, sample_scale=0.5, rng=0)
+        assert ds.n_features == round(19739 / 128)
+        # 53 * 0.5 rounds to 26 (banker's rounding in round()).
+        assert ds.n_normal == 37 and ds.n_anomaly == 26
+
+    def test_kind_matches(self):
+        assert load_dataset("autism", scale=0.01, sample_scale=0.1, rng=0).schema.is_all_categorical
+        assert load_dataset("bild", scale=0.005, rng=0).schema.is_all_real
+
+    def test_floors_apply(self):
+        ds = load_dataset("breast.basal", scale=1e-6, sample_scale=1e-6, rng=0)
+        assert ds.n_features >= 32 and ds.n_normal >= 12
+
+    def test_deterministic(self):
+        a = load_dataset("ethnic", scale=0.005, rng=42)
+        b = load_dataset("ethnic", scale=0.005, rng=42)
+        np.testing.assert_array_equal(a.x, b.x)
+
+
+class TestReplicateLoading:
+    def test_default_five_replicates(self):
+        reps = load_replicates("breast.basal", scale=0.01, rng=0)
+        assert len(reps) == 5
+
+    def test_schizophrenia_single_fixed_split(self):
+        reps = load_replicates("schizophrenia", scale=1 / 400, sample_scale=0.3, rng=0)
+        assert len(reps) == 1
+        rep = reps[0]
+        # Held-out normals + all anomalies in the test set.
+        assert (~rep.y_test).sum() >= 1 and rep.y_test.sum() > 0
+
+    def test_schizophrenia_split_structure(self):
+        ds = load_dataset("schizophrenia", scale=1 / 400, rng=0)
+        rep = schizophrenia_split(ds)
+        assert rep.n_train + (~rep.y_test).sum() == ds.n_normal
+        assert rep.y_test.sum() == ds.n_anomaly
+        # Full scale: 270 train / 10 held-out normals, per the paper.
+        assert (~rep.y_test).sum() == 10
+
+    def test_autism_has_no_planted_signal(self):
+        ds = load_dataset("autism", scale=0.01, sample_scale=0.1, rng=0)
+        assert len(ds.metadata["relevant_features"]) == 0
+        assert len(ds.metadata["ancestry_features"]) == 0
+
+    def test_schizophrenia_has_confound_and_signal(self):
+        ds = load_dataset("schizophrenia", scale=1 / 400, rng=0)
+        assert len(ds.metadata["ancestry_features"]) > 0
+        assert len(ds.metadata["relevant_features"]) > 0

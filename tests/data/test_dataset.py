@@ -1,0 +1,75 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, Replicate
+from repro.data.schema import FeatureSchema
+from repro.utils.exceptions import DataError
+
+
+def _dataset(n=6, f=4, anomalies=(4, 5)):
+    x = np.arange(n * f, dtype=float).reshape(n, f)
+    labels = np.zeros(n, dtype=bool)
+    labels[list(anomalies)] = True
+    return Dataset(x, FeatureSchema.all_real(f), labels, name="toy")
+
+
+class TestDataset:
+    def test_geometry(self):
+        ds = _dataset()
+        assert ds.n_samples == 6 and ds.n_features == 4
+        assert ds.n_normal == 4 and ds.n_anomaly == 2
+        assert ds.nbytes == 6 * 4 * 8
+
+    def test_label_shape_mismatch(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((3, 2)), FeatureSchema.all_real(2), np.zeros(4, dtype=bool))
+
+    def test_non_2d(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros(3), FeatureSchema.all_real(3), np.zeros(3, dtype=bool))
+
+    def test_schema_mismatch(self):
+        from repro.utils.exceptions import SchemaError
+
+        with pytest.raises(SchemaError):
+            Dataset(np.zeros((3, 2)), FeatureSchema.all_real(5), np.zeros(3, dtype=bool))
+
+    def test_select_samples(self):
+        sub = _dataset().select_samples([0, 4])
+        assert sub.n_samples == 2
+        assert sub.is_anomaly.tolist() == [False, True]
+        assert sub.name == "toy"
+
+    def test_select_features(self):
+        sub = _dataset().select_features([2, 0])
+        assert sub.n_features == 2
+        np.testing.assert_array_equal(sub.x[:, 0], _dataset().x[:, 2])
+
+    def test_normals_and_anomalies(self):
+        ds = _dataset()
+        assert ds.normals().n_samples == 4
+        assert ds.normals().n_anomaly == 0
+        assert ds.anomalies().n_samples == 2
+
+    def test_matrix_is_contiguous_float64(self):
+        ds = _dataset()
+        assert ds.x.flags["C_CONTIGUOUS"] and ds.x.dtype == np.float64
+
+    def test_repr(self):
+        assert "toy" in repr(_dataset())
+
+
+class TestReplicate:
+    def test_fields(self):
+        rep = Replicate(
+            x_train=np.zeros((4, 3)),
+            x_test=np.zeros((2, 3)),
+            y_test=np.array([False, True]),
+            schema=FeatureSchema.all_real(3),
+            name="toy",
+            index=1,
+        )
+        assert rep.n_train == 4 and rep.n_test == 2 and rep.n_features == 3
+        assert "#1" in repr(rep)

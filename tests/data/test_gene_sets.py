@@ -1,0 +1,51 @@
+"""Tests for compendium gene-set collections."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.gene_sets import block_gene_sets, module_gene_sets
+from repro.utils.exceptions import DataError
+
+
+class TestModuleGeneSets:
+    def test_sets_partition_relevant_features(self, expression_dataset):
+        ds = expression_dataset
+        sets = module_gene_sets(ds)
+        all_members = sorted(g for members in sets.values() for g in members)
+        np.testing.assert_array_equal(
+            all_members, ds.metadata["relevant_features"]
+        )
+
+    def test_background_set(self, expression_dataset):
+        ds = expression_dataset
+        sets = module_gene_sets(ds, include_background=True)
+        assert "irrelevant" in sets
+        total = sum(len(v) for v in sets.values())
+        assert total == ds.n_features
+
+    def test_snp_dataset_rejected(self, snp_dataset):
+        with pytest.raises(DataError, match="module metadata"):
+            module_gene_sets(snp_dataset)
+
+
+class TestBlockGeneSets:
+    def test_roles(self):
+        ds = load_dataset("schizophrenia", scale=1 / 400, rng=0)
+        sets = block_gene_sets(ds)
+        assert set(sets) == {"disease", "ancestry"}
+        assert len(sets["ancestry"]) > 0
+
+    def test_all_blocks(self, snp_dataset):
+        sets = block_gene_sets(snp_dataset, roles_only=False)
+        block_sets = [k for k in sets if k.startswith("block-")]
+        assert len(block_sets) == snp_dataset.n_features // 6  # block_size=6
+
+    def test_autism_has_no_planted_sets(self):
+        ds = load_dataset("autism", scale=1 / 128, sample_scale=0.1, rng=0)
+        with pytest.raises(DataError, match="plants none"):
+            block_gene_sets(ds)
+
+    def test_expression_dataset_rejected(self, expression_dataset):
+        with pytest.raises(DataError, match="block metadata"):
+            block_gene_sets(expression_dataset)

@@ -1,0 +1,143 @@
+"""Tests for delimited-file data loading."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import infer_schema, read_delimited, write_delimited
+from repro.data.schema import FeatureKind, FeatureSchema
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    p = tmp_path / "cohort.csv"
+    p.write_text(
+        "geneA,geneB,snp1,status\n"
+        "1.5,2.0,0,control\n"
+        "1.6,2.2,1,control\n"
+        "0.9,1.8,2,control\n"
+        "5.5,NA,0,case\n",
+        encoding="utf-8",
+    )
+    return p
+
+
+class TestReadDelimited:
+    def test_basic(self, csv_file):
+        ds = read_delimited(csv_file, label_column="status", anomaly_values={"case"})
+        assert ds.n_samples == 4 and ds.n_features == 3
+        assert ds.is_anomaly.tolist() == [False, False, False, True]
+        assert ds.name == "cohort"
+
+    def test_missing_values_parsed(self, csv_file):
+        ds = read_delimited(csv_file, label_column="status")
+        assert np.isnan(ds.x[3, 1])
+
+    def test_kind_inference(self, csv_file):
+        ds = read_delimited(csv_file, label_column="status")
+        assert ds.schema[0].is_real and ds.schema[1].is_real
+        assert ds.schema[2].is_categorical and ds.schema[2].arity == 3
+
+    def test_explicit_declarations(self, csv_file):
+        ds = read_delimited(
+            csv_file, label_column="status", real=["snp1"]
+        )
+        assert ds.schema[2].is_real
+
+    def test_no_label_column(self, tmp_path):
+        p = tmp_path / "x.csv"
+        p.write_text("a,b\n1.0,2.0\n3.0,4.0\n", encoding="utf-8")
+        ds = read_delimited(p)
+        assert ds.n_anomaly == 0 and ds.n_features == 2
+
+    def test_tsv(self, tmp_path):
+        p = tmp_path / "x.tsv"
+        p.write_text("a\tb\n1.0\t2.0\n", encoding="utf-8")
+        ds = read_delimited(p, delimiter="\t")
+        assert ds.n_features == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="no such file"):
+            read_delimited(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("", encoding="utf-8")
+        with pytest.raises(DataError, match="empty"):
+            read_delimited(p)
+
+    def test_header_only(self, tmp_path):
+        p = tmp_path / "h.csv"
+        p.write_text("a,b\n", encoding="utf-8")
+        with pytest.raises(DataError, match="no data rows"):
+            read_delimited(p)
+
+    def test_ragged_row(self, tmp_path):
+        p = tmp_path / "r.csv"
+        p.write_text("a,b\n1.0\n", encoding="utf-8")
+        with pytest.raises(DataError, match="expected 2 fields"):
+            read_delimited(p)
+
+    def test_unparseable_cell(self, tmp_path):
+        p = tmp_path / "u.csv"
+        p.write_text("a\nhello\n", encoding="utf-8")
+        with pytest.raises(DataError, match="cannot parse"):
+            read_delimited(p)
+
+    def test_unknown_label_column(self, csv_file):
+        with pytest.raises(DataError, match="label column"):
+            read_delimited(csv_file, label_column="phenotype")
+
+    def test_usable_by_frac(self, csv_file):
+        from repro import FRaC, FRaCConfig
+
+        ds = read_delimited(csv_file, label_column="status")
+        frac = FRaC(FRaCConfig.fast(n_folds=2, min_observed=2), rng=0)
+        frac.fit(ds.normals().x, ds.schema)
+        assert np.isfinite(frac.score(ds.x)).all()
+
+
+class TestInferSchema:
+    def test_conflicting_declarations(self):
+        with pytest.raises(DataError, match="both categorical and real"):
+            infer_schema(np.zeros((2, 1)), ["a"], categorical=["a"], real=["a"])
+
+    def test_unknown_declared_column(self):
+        with pytest.raises(DataError, match="not in the file"):
+            infer_schema(np.zeros((2, 1)), ["a"], categorical=["b"])
+
+    def test_high_cardinality_integers_are_real(self):
+        matrix = np.arange(40, dtype=float).reshape(-1, 1)
+        schema = infer_schema(matrix, ["counts"])
+        assert schema[0].is_real
+
+    def test_negative_integers_are_real(self):
+        matrix = np.array([[-1.0], [0.0], [1.0]])
+        schema = infer_schema(matrix, ["delta"])
+        assert schema[0].is_real
+
+    def test_forced_categorical_validates(self):
+        matrix = np.array([[0.5], [1.0]])
+        with pytest.raises(DataError, match="non-code"):
+            infer_schema(matrix, ["a"], categorical=["a"])
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, expression_dataset):
+        ds = expression_dataset
+        p = tmp_path / "round.csv"
+        write_delimited(ds, p)
+        back = read_delimited(
+            p, label_column="label", anomaly_values={"1"},
+            real=ds.schema.names(),
+        )
+        np.testing.assert_allclose(back.x, ds.x, equal_nan=True)
+        np.testing.assert_array_equal(back.is_anomaly, ds.is_anomaly)
+
+    def test_snp_round_trip(self, tmp_path, snp_dataset):
+        ds = snp_dataset
+        p = tmp_path / "snp.csv"
+        write_delimited(ds, p)
+        back = read_delimited(p, label_column="label")
+        np.testing.assert_allclose(back.x, ds.x, equal_nan=True)
+        assert back.schema.is_all_categorical

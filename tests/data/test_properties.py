@@ -1,0 +1,105 @@
+"""Property-based tests on the data substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.imputation import Preprocessor
+from repro.data.dataset import Dataset
+from repro.data.replicates import make_replicate, make_replicates
+from repro.data.schema import FeatureSchema
+
+
+@st.composite
+def labelled_matrix(draw):
+    n_normal = draw(st.integers(4, 25))
+    n_anomaly = draw(st.integers(0, 10))
+    f = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 10_000))
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n_normal + n_anomaly, f))
+    labels = np.zeros(n_normal + n_anomaly, dtype=bool)
+    labels[n_normal:] = True
+    return Dataset(x, FeatureSchema.all_real(f), labels)
+
+
+class TestReplicateProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(ds=labelled_matrix(), seed=st.integers(0, 1000))
+    def test_replicate_conserves_samples(self, ds, seed):
+        """train + test = all samples; anomalies all end up in test."""
+        rep = make_replicate(ds, rng=seed)
+        assert rep.n_train + rep.n_test == ds.n_samples
+        assert rep.y_test.sum() == ds.n_anomaly
+        assert rep.n_train >= 1 and (~rep.y_test).sum() >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(ds=labelled_matrix(), seed=st.integers(0, 1000), n=st.integers(1, 4))
+    def test_replicates_share_schema_and_name(self, ds, seed, n):
+        for rep in make_replicates(ds, n, rng=seed):
+            assert rep.schema == ds.schema
+            assert rep.n_features == ds.n_features
+
+
+class TestPreprocessorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(3, 30),
+        f=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+        missing=st.floats(0.0, 0.4),
+    )
+    def test_transform_is_always_finite(self, n, f, seed, missing):
+        gen = np.random.default_rng(seed)
+        x = gen.standard_normal((n, f))
+        mask = gen.random((n, f)) < missing
+        # Keep at least one observed value per column.
+        mask[0] = False
+        x[mask] = np.nan
+        pre = Preprocessor(FeatureSchema.all_real(f)).fit(x)
+        assert np.isfinite(pre.transform(x)).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(3, 30), f=st.integers(1, 6), seed=st.integers(0, 1000))
+    def test_keep_missing_preserves_nan_positions(self, n, f, seed):
+        gen = np.random.default_rng(seed)
+        x = gen.standard_normal((n, f))
+        x[0, 0] = np.nan if n > 1 else x[0, 0]
+        pre = Preprocessor(FeatureSchema.all_real(f)).fit(x)
+        out = pre.transform_keep_missing(x)
+        np.testing.assert_array_equal(np.isnan(out), np.isnan(x))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(4, 25),
+        f=st.integers(1, 5),
+        seed=st.integers(0, 500),
+        scale=st.floats(0.1, 10.0),
+        shift=st.floats(-5.0, 5.0),
+    )
+    def test_standardization_absorbs_affine_transforms(self, n, f, seed, scale, shift):
+        """Standardized output is invariant to per-feature affine maps."""
+        gen = np.random.default_rng(seed)
+        x = gen.standard_normal((n, f))
+        base = Preprocessor(FeatureSchema.all_real(f)).fit(x).transform(x)
+        moved_x = x * scale + shift
+        moved = Preprocessor(FeatureSchema.all_real(f)).fit(moved_x).transform(moved_x)
+        np.testing.assert_allclose(base, moved, atol=1e-8)
+
+
+class TestDatasetProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ds=labelled_matrix())
+    def test_normals_anomalies_partition(self, ds):
+        assert ds.normals().n_samples + ds.anomalies().n_samples == ds.n_samples
+        assert ds.normals().n_anomaly == 0
+        assert ds.anomalies().n_normal == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(ds=labelled_matrix(), seed=st.integers(0, 100))
+    def test_feature_selection_roundtrip(self, ds, seed):
+        gen = np.random.default_rng(seed)
+        perm = gen.permutation(ds.n_features)
+        inverse = np.argsort(perm)
+        back = ds.select_features(perm).select_features(inverse)
+        np.testing.assert_array_equal(back.x, ds.x)

@@ -1,0 +1,102 @@
+"""Tests for the paper's replicate protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.replicates import fixed_split_replicate, make_replicate, make_replicates
+from repro.data.schema import FeatureSchema
+from repro.utils.exceptions import DataError
+
+
+def _dataset(n_normal=30, n_anomaly=10, f=5, rng=0):
+    gen = np.random.default_rng(rng)
+    x = gen.standard_normal((n_normal + n_anomaly, f))
+    labels = np.zeros(n_normal + n_anomaly, dtype=bool)
+    labels[n_normal:] = True
+    return Dataset(x, FeatureSchema.all_real(f), labels, name="toy")
+
+
+class TestMakeReplicate:
+    def test_two_thirds_split(self):
+        ds = _dataset()
+        rep = make_replicate(ds, rng=0)
+        assert rep.n_train == 20  # 2/3 of 30
+        assert rep.n_test == 10 + 10  # held-out normals + all anomalies
+        assert rep.y_test.sum() == 10
+
+    def test_train_is_all_normal(self):
+        """Training rows must come from the normal population only."""
+        ds = _dataset()
+        rep = make_replicate(ds, rng=1)
+        normal_rows = {tuple(r) for r in ds.normals().x}
+        assert all(tuple(r) in normal_rows for r in rep.x_train)
+
+    def test_train_and_heldout_disjoint(self):
+        ds = _dataset()
+        rep = make_replicate(ds, rng=2)
+        train_rows = {tuple(r) for r in rep.x_train}
+        heldout = rep.x_test[~rep.y_test]
+        assert not any(tuple(r) in train_rows for r in heldout)
+
+    def test_custom_fraction(self):
+        rep = make_replicate(_dataset(), train_fraction=0.5, rng=0)
+        assert rep.n_train == 15
+
+    def test_bad_fraction(self):
+        with pytest.raises(DataError):
+            make_replicate(_dataset(), train_fraction=1.5)
+
+    def test_too_few_normals(self):
+        with pytest.raises(DataError):
+            make_replicate(_dataset(n_normal=2, n_anomaly=2))
+
+    def test_always_leaves_a_test_normal(self):
+        """Even at extreme fractions, at least one normal is held out."""
+        rep = make_replicate(_dataset(n_normal=4, n_anomaly=2), train_fraction=0.99)
+        assert (~rep.y_test).sum() >= 1
+
+    def test_deterministic(self):
+        a = make_replicate(_dataset(), rng=7)
+        b = make_replicate(_dataset(), rng=7)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+
+class TestMakeReplicates:
+    def test_five_by_default(self):
+        reps = make_replicates(_dataset(), rng=0)
+        assert len(reps) == 5
+        assert [r.index for r in reps] == list(range(5))
+
+    def test_replicates_differ(self):
+        reps = make_replicates(_dataset(), 2, rng=0)
+        assert not np.array_equal(reps[0].x_train, reps[1].x_train)
+
+    def test_zero_raises(self):
+        with pytest.raises(DataError):
+            make_replicates(_dataset(), 0)
+
+    def test_deterministic(self):
+        a = make_replicates(_dataset(), 3, rng=9)
+        b = make_replicates(_dataset(), 3, rng=9)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.x_test, rb.x_test)
+
+
+class TestFixedSplit:
+    def test_basic(self):
+        train = _dataset(n_normal=20, n_anomaly=0)
+        test = _dataset(n_normal=5, n_anomaly=8, rng=1)
+        rep = fixed_split_replicate(train, test, name="schiz")
+        assert rep.n_train == 20 and rep.n_test == 13
+        assert rep.name == "schiz"
+
+    def test_anomalous_train_rejected(self):
+        with pytest.raises(DataError, match="normals only"):
+            fixed_split_replicate(_dataset(), _dataset())
+
+    def test_schema_mismatch(self):
+        train = _dataset(n_normal=10, n_anomaly=0)
+        test = _dataset(n_normal=4, n_anomaly=4, f=6)
+        with pytest.raises(DataError, match="schema"):
+            fixed_split_replicate(train, test)

@@ -1,0 +1,126 @@
+"""Tests for feature schemas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.utils.exceptions import SchemaError
+
+
+class TestFeatureSpec:
+    def test_real_spec(self):
+        s = FeatureSpec(FeatureKind.REAL, name="g1")
+        assert s.is_real and not s.is_categorical and s.onehot_width == 1
+
+    def test_categorical_spec(self):
+        s = FeatureSpec(FeatureKind.CATEGORICAL, arity=3)
+        assert s.is_categorical and s.onehot_width == 3
+
+    def test_real_with_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            FeatureSpec(FeatureKind.REAL, arity=2)
+
+    @pytest.mark.parametrize("arity", [0, 1])
+    def test_categorical_arity_floor(self, arity):
+        with pytest.raises(SchemaError):
+            FeatureSpec(FeatureKind.CATEGORICAL, arity=arity)
+
+
+class TestFeatureSchema:
+    def test_all_real(self):
+        schema = FeatureSchema.all_real(5)
+        assert len(schema) == 5
+        assert schema.is_all_real and not schema.is_all_categorical
+        assert schema.onehot_width == 5
+        np.testing.assert_array_equal(schema.real_indices, np.arange(5))
+
+    def test_all_categorical(self):
+        schema = FeatureSchema.all_categorical(4, arity=3)
+        assert schema.is_all_categorical
+        assert schema.onehot_width == 12
+        np.testing.assert_array_equal(schema.categorical_indices, np.arange(4))
+
+    def test_mixed_indices(self):
+        schema = FeatureSchema(
+            [
+                FeatureSpec(FeatureKind.REAL),
+                FeatureSpec(FeatureKind.CATEGORICAL, arity=3),
+                FeatureSpec(FeatureKind.REAL),
+            ]
+        )
+        np.testing.assert_array_equal(schema.real_indices, [0, 2])
+        np.testing.assert_array_equal(schema.categorical_indices, [1])
+        assert schema.onehot_width == 5
+
+    def test_names_mismatch(self):
+        with pytest.raises(SchemaError):
+            FeatureSchema.all_real(3, names=["a"])
+
+    def test_subset_preserves_specs(self):
+        schema = FeatureSchema.all_categorical(5, arity=4)
+        sub = schema.subset([3, 1])
+        assert len(sub) == 2
+        assert sub[0].arity == 4
+        assert sub[0].name == "snp3"
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(SchemaError):
+            FeatureSchema.all_real(3).subset([5])
+
+    def test_equality_and_hash(self):
+        a, b = FeatureSchema.all_real(3), FeatureSchema.all_real(3)
+        assert a == b and hash(a) == hash(b)
+        assert a != FeatureSchema.all_real(4)
+
+    def test_iteration(self):
+        schema = FeatureSchema.all_real(3)
+        assert all(s.is_real for s in schema)
+
+    def test_repr(self):
+        assert "3 real" in repr(FeatureSchema.all_real(3))
+
+
+class TestValidateMatrix:
+    def test_valid_categorical(self):
+        schema = FeatureSchema.all_categorical(2, arity=3)
+        schema.validate_matrix(np.array([[0.0, 2.0], [1.0, np.nan]]))
+
+    def test_wrong_width(self):
+        with pytest.raises(SchemaError, match="columns"):
+            FeatureSchema.all_real(3).validate_matrix(np.zeros((2, 2)))
+
+    def test_non_integer_codes(self):
+        schema = FeatureSchema.all_categorical(1, arity=3)
+        with pytest.raises(SchemaError, match="non-integer"):
+            schema.validate_matrix(np.array([[0.5]]))
+
+    def test_out_of_range_codes(self):
+        schema = FeatureSchema.all_categorical(1, arity=3)
+        with pytest.raises(SchemaError, match="outside"):
+            schema.validate_matrix(np.array([[3.0]]))
+
+    def test_all_missing_column_ok(self):
+        schema = FeatureSchema.all_categorical(1, arity=3)
+        schema.validate_matrix(np.array([[np.nan], [np.nan]]))
+
+    def test_not_2d(self):
+        with pytest.raises(SchemaError):
+            FeatureSchema.all_real(1).validate_matrix(np.zeros(3))
+
+
+@given(
+    n_real=st.integers(0, 6),
+    arities=st.lists(st.integers(2, 6), min_size=0, max_size=6),
+)
+def test_onehot_width_property(n_real, arities):
+    """One-hot width = #real + sum of arities, in any interleaving."""
+    specs = [FeatureSpec(FeatureKind.REAL) for _ in range(n_real)] + [
+        FeatureSpec(FeatureKind.CATEGORICAL, arity=a) for a in arities
+    ]
+    if not specs:
+        specs = [FeatureSpec(FeatureKind.REAL)]
+        n_real = 1
+    schema = FeatureSchema(specs)
+    assert schema.onehot_width == n_real + sum(arities)
+    assert len(schema.real_indices) + len(schema.categorical_indices) == len(schema)

@@ -1,0 +1,74 @@
+"""Tests for the Gaussian residual error model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errormodels.gaussian import GaussianErrorModel
+from repro.utils.exceptions import FitError, NotFittedError
+
+_LOG_2PI = np.log(2 * np.pi)
+
+
+class TestFit:
+    def test_moments(self):
+        gen = np.random.default_rng(0)
+        resid = gen.normal(0.5, 2.0, size=5000)
+        m = GaussianErrorModel().fit(np.zeros(5000), resid)
+        assert abs(m.mu_ - 0.5) < 0.1
+        assert abs(m.sigma_ - 2.0) < 0.1
+
+    def test_empty_raises(self):
+        with pytest.raises(FitError):
+            GaussianErrorModel().fit(np.zeros(0), np.zeros(0))
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(FitError):
+            GaussianErrorModel().fit(np.array([0.0]), np.array([np.nan]))
+
+    def test_sigma_floor_applies(self):
+        m = GaussianErrorModel(sigma_floor=0.1).fit(np.zeros(5), np.zeros(5))
+        assert m.sigma_ == 0.1
+
+    def test_bad_floor(self):
+        with pytest.raises(ValueError):
+            GaussianErrorModel(sigma_floor=0.0)
+
+
+class TestSurprisal:
+    def test_matches_closed_form(self):
+        m = GaussianErrorModel().fit(np.zeros(4), np.array([-1.0, 1.0, -1.0, 1.0]))
+        # mu=0, sigma=1 exactly.
+        s = m.surprisal(np.array([0.0]), np.array([2.0]))
+        expected = 0.5 * 4.0 + 0.5 * _LOG_2PI
+        np.testing.assert_allclose(s, expected)
+
+    def test_mode_is_least_surprising(self):
+        m = GaussianErrorModel().fit(np.zeros(4), np.array([-1.0, 1.0, -1.0, 1.0]))
+        near = m.surprisal(np.array([0.0]), np.array([0.0]))
+        far = m.surprisal(np.array([0.0]), np.array([3.0]))
+        assert near < far
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            GaussianErrorModel().surprisal(np.zeros(1), np.zeros(1))
+
+    def test_vectorized_shape(self):
+        m = GaussianErrorModel().fit(np.zeros(3), np.array([0.0, 1.0, -1.0]))
+        assert m.surprisal(np.zeros(7), np.arange(7.0)).shape == (7,)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mu=st.floats(-3, 3),
+        sigma=st.floats(0.1, 5),
+        query=st.floats(-10, 10),
+    )
+    def test_surprisal_exceeds_entropy_floor(self, mu, sigma, query):
+        """-ln N(x; mu, sigma) >= ln(sigma sqrt(2 pi e)) - 0.5... i.e. the
+        minimum surprisal is at the mode: ln(sigma) + 0.5 ln(2 pi)."""
+        gen = np.random.default_rng(0)
+        resid = gen.normal(mu, sigma, size=500)
+        m = GaussianErrorModel().fit(np.zeros(500), resid)
+        s = float(m.surprisal(np.array([0.0]), np.array([query]))[0])
+        mode_surprisal = np.log(m.sigma_) + 0.5 * _LOG_2PI
+        assert s >= mode_surprisal - 1e-9

@@ -1,0 +1,87 @@
+"""Tests for the Gaussian KDE and entropy estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats
+
+from repro.errormodels.kde import BANDWIDTH_FLOOR, GaussianKDE, silverman_bandwidth
+from repro.utils.exceptions import FitError, NotFittedError
+
+
+class TestBandwidth:
+    def test_silverman_formula(self):
+        gen = np.random.default_rng(0)
+        v = gen.standard_normal(200)
+        h = silverman_bandwidth(v)
+        sd = v.std()
+        iqr = np.subtract(*np.percentile(v, [75, 25]))
+        expected = 0.9 * min(sd, iqr / 1.34) * 200 ** (-0.2)
+        np.testing.assert_allclose(h, expected)
+
+    def test_constant_sample_floor(self):
+        assert silverman_bandwidth(np.full(50, 3.0)) == BANDWIDTH_FLOOR
+
+    def test_single_value(self):
+        assert silverman_bandwidth(np.array([1.0])) == BANDWIDTH_FLOOR
+
+
+class TestKDE:
+    def test_pdf_integrates_to_one(self):
+        gen = np.random.default_rng(1)
+        kde = GaussianKDE().fit(gen.standard_normal(100))
+        xs = np.linspace(-6, 6, 2000)
+        mass = np.trapezoid(kde.pdf(xs), xs)
+        assert abs(mass - 1.0) < 1e-3
+
+    def test_matches_scipy(self):
+        gen = np.random.default_rng(2)
+        v = gen.standard_normal(80)
+        ours = GaussianKDE(bandwidth=0.5).fit(v)
+        ref = stats.gaussian_kde(v, bw_method=0.5 / v.std(ddof=1))
+        xs = np.linspace(-3, 3, 50)
+        np.testing.assert_allclose(ours.pdf(xs), ref(xs), rtol=0.02)
+
+    def test_entropy_of_gaussian(self):
+        """KDE entropy of a big normal sample ~ 0.5 ln(2 pi e sigma^2)."""
+        gen = np.random.default_rng(3)
+        sigma = 2.0
+        kde = GaussianKDE().fit(gen.normal(0, sigma, size=3000))
+        expected = 0.5 * np.log(2 * np.pi * np.e * sigma**2)
+        assert abs(kde.entropy() - expected) < 0.1
+
+    def test_entropy_monotone_in_spread(self):
+        gen = np.random.default_rng(4)
+        narrow = GaussianKDE().fit(gen.normal(0, 0.5, 300))
+        wide = GaussianKDE().fit(gen.normal(0, 3.0, 300))
+        assert wide.entropy() > narrow.entropy()
+
+    def test_ignores_nan(self):
+        v = np.array([0.0, 1.0, np.nan, 2.0])
+        kde = GaussianKDE().fit(v)
+        assert kde.samples_.shape == (3,)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(FitError):
+            GaussianKDE().fit(np.array([np.nan, np.nan]))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            GaussianKDE().logpdf(np.zeros(1))
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(bandwidth=-1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(loc=st.floats(-5, 5), scale=st.floats(0.2, 4))
+    def test_entropy_location_invariant(self, loc, scale):
+        """Differential entropy must not depend on location, and must grow
+        by ln(a) under scaling by a."""
+        gen = np.random.default_rng(0)
+        base = gen.standard_normal(150)
+        h0 = GaussianKDE().fit(base).entropy()
+        h_shift = GaussianKDE().fit(base + loc).entropy()
+        h_scale = GaussianKDE().fit(base * scale).entropy()
+        assert abs(h_shift - h0) < 1e-9
+        np.testing.assert_allclose(h_scale, h0 + np.log(scale), atol=1e-9)

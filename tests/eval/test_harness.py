@@ -1,0 +1,75 @@
+"""Tests for the replicate evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.frac import FRaC
+from repro.data.replicates import make_replicates
+from repro.eval.harness import EvaluationResult, evaluate_on_replicates
+from repro.parallel.resources import ResourceReport
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def replicates(expression_dataset):
+    return make_replicates(expression_dataset, 3, rng=0)
+
+
+class TestEvaluate:
+    def test_per_replicate_aucs(self, replicates, fast_config):
+        result = evaluate_on_replicates(
+            lambda i, seed: FRaC(fast_config, rng=seed),
+            replicates,
+            method="full",
+            rng=0,
+        )
+        assert len(result.aucs) == 3
+        assert all(0 <= a <= 1 for a in result.aucs)
+        assert result.method == "full"
+        assert result.dataset == "expr-test"
+        assert len(result.resources) == 3
+
+    def test_empty_replicates(self, fast_config):
+        with pytest.raises(DataError):
+            evaluate_on_replicates(lambda i, s: FRaC(fast_config), [])
+
+    def test_deterministic(self, replicates, fast_config):
+        a = evaluate_on_replicates(
+            lambda i, seed: FRaC(fast_config, rng=seed), replicates, rng=11
+        )
+        b = evaluate_on_replicates(
+            lambda i, seed: FRaC(fast_config, rng=seed), replicates, rng=11
+        )
+        assert a.aucs == b.aucs
+
+
+class TestEvaluationResult:
+    def _result(self, aucs, cpu, mem):
+        return EvaluationResult(
+            dataset="d",
+            method="m",
+            aucs=tuple(aucs),
+            resources=tuple(ResourceReport(c, b) for c, b in zip(cpu, mem)),
+        )
+
+    def test_auc_summary(self):
+        r = self._result([0.7, 0.8], [1, 1], [10, 10])
+        assert r.auc.mean == pytest.approx(0.75)
+
+    def test_fraction_of_paired_replicates(self):
+        full = self._result([0.8, 0.8], [10.0, 10.0], [1000, 1000])
+        variant = self._result([0.72, 0.88], [1.0, 1.0], [100, 100])
+        row = variant.as_fraction_of(full)
+        assert row["auc_fraction"].mean == pytest.approx((0.9 + 1.1) / 2)
+        assert row["time_fraction"] == pytest.approx(0.1)
+        assert row["mem_fraction"] == pytest.approx(0.1)
+
+    def test_fraction_of_unpaired_counts(self):
+        full = self._result([0.8, 0.8, 0.8], [10.0] * 3, [100] * 3)
+        variant = self._result([0.4], [1.0], [10])
+        row = variant.as_fraction_of(full)
+        assert row["auc_fraction"].mean == pytest.approx(0.5)
+
+    def test_mean_resources_empty(self):
+        r = EvaluationResult(dataset="d", method="m", aucs=(0.5,))
+        assert r.mean_resources.cpu_seconds == 0.0

@@ -1,0 +1,37 @@
+"""Work-model propagation through the evaluation harness."""
+
+import pytest
+
+from repro.eval.harness import EvaluationResult
+from repro.parallel.resources import ResourceReport
+
+
+def _result(aucs, cpu, mem, work):
+    return EvaluationResult(
+        dataset="d",
+        method="m",
+        aucs=tuple(aucs),
+        resources=tuple(
+            ResourceReport(c, b, work_units=w) for c, b, w in zip(cpu, mem, work)
+        ),
+    )
+
+
+class TestWorkFractions:
+    def test_work_fraction_in_rows(self):
+        full = _result([0.8], [10.0], [1000], [100_000])
+        variant = _result([0.8], [5.0], [100], [5_000])
+        row = variant.as_fraction_of(full)
+        assert row["work_fraction"] == pytest.approx(0.05)
+        assert row["time_fraction"] == pytest.approx(0.5)
+
+    def test_missing_work_units_gives_nan(self):
+        import math
+
+        full = _result([0.8], [10.0], [1000], [0])
+        variant = _result([0.8], [5.0], [100], [0])
+        assert math.isnan(variant.as_fraction_of(full)["work_fraction"])
+
+    def test_mean_resources_average_work(self):
+        r = _result([0.5, 0.5], [1.0, 3.0], [10, 30], [100, 300])
+        assert r.mean_resources.work_units == 200

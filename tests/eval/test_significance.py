@@ -1,0 +1,79 @@
+"""Tests for AUC significance tools."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    PermutationResult,
+    auc_confidence_interval,
+    auc_permutation_test,
+)
+from repro.utils.exceptions import DataError
+
+
+def _separable(n=40, gap=3.0, seed=0):
+    gen = np.random.default_rng(seed)
+    labels = np.zeros(n, dtype=bool)
+    labels[: n // 3] = True
+    scores = gen.standard_normal(n) + gap * labels
+    return labels, scores
+
+
+class TestPermutationTest:
+    def test_strong_signal_significant(self):
+        labels, scores = _separable(gap=3.0)
+        res = auc_permutation_test(labels, scores, n_permutations=300, rng=1)
+        assert res.auc > 0.9
+        assert res.p_value < 0.02
+
+    def test_no_signal_not_significant(self):
+        labels, scores = _separable(gap=0.0, seed=5)
+        res = auc_permutation_test(labels, scores, n_permutations=300, rng=1)
+        assert res.p_value > 0.05 or res.auc < 0.6
+
+    def test_null_centered_at_half(self):
+        labels, scores = _separable(gap=1.0)
+        res = auc_permutation_test(labels, scores, n_permutations=400, rng=2)
+        assert abs(res.null_mean - 0.5) < 0.05
+
+    def test_p_never_zero(self):
+        labels, scores = _separable(gap=10.0)
+        res = auc_permutation_test(labels, scores, n_permutations=50, rng=0)
+        assert res.p_value >= 1 / 51
+
+    def test_bad_permutations(self):
+        labels, scores = _separable()
+        with pytest.raises(DataError):
+            auc_permutation_test(labels, scores, n_permutations=0)
+
+    def test_deterministic(self):
+        labels, scores = _separable(gap=1.0)
+        a = auc_permutation_test(labels, scores, n_permutations=100, rng=9)
+        b = auc_permutation_test(labels, scores, n_permutations=100, rng=9)
+        assert a == b
+
+
+class TestConfidenceInterval:
+    def test_contains_auc(self):
+        labels, scores = _separable(gap=2.0)
+        a, lo, hi = auc_confidence_interval(labels, scores)
+        assert lo <= a <= hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wider_at_lower_n(self):
+        la, sa = _separable(n=20, gap=1.0)
+        lb, sb = _separable(n=200, gap=1.0)
+        _, lo_a, hi_a = auc_confidence_interval(la, sa)
+        _, lo_b, hi_b = auc_confidence_interval(lb, sb)
+        assert (hi_a - lo_a) > (hi_b - lo_b)
+
+    def test_higher_confidence_wider(self):
+        labels, scores = _separable(gap=1.0)
+        _, lo90, hi90 = auc_confidence_interval(labels, scores, confidence=0.9)
+        _, lo99, hi99 = auc_confidence_interval(labels, scores, confidence=0.99)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_bad_confidence(self):
+        labels, scores = _separable()
+        with pytest.raises(DataError):
+            auc_confidence_interval(labels, scores, confidence=1.0)

@@ -1,0 +1,69 @@
+"""Tests for the ablation drivers (at smoke scale)."""
+
+import pytest
+
+from repro.experiments import smoke_study
+from repro.experiments.ablations import (
+    ensemble_size_stability,
+    filter_fraction_instability,
+    frac_vs_baselines,
+    jl_family_equivalence,
+    partial_vs_full_filtering,
+)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return smoke_study()
+
+
+class TestPartialVsFull:
+    def test_rows_and_cost_ordering(self, settings):
+        rows = partial_vs_full_filtering(settings, datasets=("biomarkers",))
+        assert [r["method"] for r in rows] == ["random_filter", "partial_filter"]
+        full_row, partial_row = rows
+        # The paper's finding: partial costs more memory than full filtering.
+        assert partial_row["mem_fraction"] > full_row["mem_fraction"]
+
+
+class TestFilterInstability:
+    def test_rows(self, settings):
+        rows = filter_fraction_instability(
+            settings, fractions=(0.1, 0.4), n_seeds=4
+        )
+        assert [r["p"] for r in rows] == [0.1, 0.4]
+        assert all(r["auc_range"] >= 0 for r in rows)
+
+
+class TestEnsembleStability:
+    def test_more_members_not_less_stable(self, settings):
+        rows = ensemble_size_stability(settings, sizes=(1, 6), n_seeds=5)
+        single, big = rows
+        assert big["auc_range"] <= single["auc_range"] + 0.1
+
+
+class TestJLFamily:
+    def test_all_four_kinds(self, settings):
+        rows = jl_family_equivalence(settings, n_seeds=2)
+        assert {r["kind"] for r in rows} == {"gaussian", "uniform", "sparse", "hashing"}
+        assert all(0 <= r["auc"].mean <= 1 for r in rows)
+
+
+class TestBaselines:
+    def test_frac_present_and_best_or_close(self, settings):
+        rows = frac_vs_baselines(
+            settings, datasets=("biomarkers",), methods=("full", "zscore")
+        )
+        by = {r["method"]: r["auc"].mean for r in rows}
+        assert by["full"] >= by["zscore"] - 0.05
+
+
+class TestSNPLearnerComparison:
+    def test_rows_and_fields(self, settings):
+        from repro.experiments.ablations import snp_learner_comparison
+
+        rows = snp_learner_comparison(settings, learners=("tree", "naive_bayes"))
+        assert [r["classifier"] for r in rows] == ["tree", "naive_bayes"]
+        for r in rows:
+            assert 0.0 <= r["auc"] <= 1.0
+            assert r["cpu_s"] >= 0 and r["mem_mb"] > 0

@@ -1,0 +1,45 @@
+"""Tests for experiment-run memoization."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import smoke_study
+from repro.experiments.study import _RESULT_CACHE, run_method_on_dataset
+
+
+@pytest.fixture(autouse=True)
+def clear_cache():
+    saved = dict(_RESULT_CACHE)
+    _RESULT_CACHE.clear()
+    yield
+    _RESULT_CACHE.clear()
+    _RESULT_CACHE.update(saved)
+
+
+class TestResultCache:
+    def test_second_call_returns_same_object(self):
+        s = smoke_study()
+        a = run_method_on_dataset("zscore", "breast.basal", s)
+        b = run_method_on_dataset("zscore", "breast.basal", s)
+        assert a is b
+        assert len(_RESULT_CACHE) == 1
+
+    def test_kwargs_distinguish_entries(self):
+        s = smoke_study()
+        a = run_method_on_dataset("jl", "breast.basal", s, jl_components=4)
+        b = run_method_on_dataset("jl", "breast.basal", s, jl_components=6)
+        assert a is not b
+        assert len(_RESULT_CACHE) == 2
+
+    def test_settings_distinguish_entries(self):
+        a = run_method_on_dataset("zscore", "breast.basal", smoke_study(seed=1))
+        b = run_method_on_dataset("zscore", "breast.basal", smoke_study(seed=2))
+        assert a is not b
+
+    def test_cached_result_is_deterministic_replay(self):
+        """The memo must return exactly what a fresh run would."""
+        s = smoke_study()
+        first = run_method_on_dataset("mahalanobis", "smokers2", s)
+        _RESULT_CACHE.clear()
+        fresh = run_method_on_dataset("mahalanobis", "smokers2", s)
+        assert first.aucs == fresh.aucs

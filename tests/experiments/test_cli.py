@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.command == "table1"
+        from repro.experiments import DEFAULT_BENCH_SCALE
+
+        assert args.scale == pytest.approx(DEFAULT_BENCH_SCALE)
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table2", "--scale", "0.01", "--replicates", "2", "--seed", "7"]
+        )
+        assert args.scale == 0.01 and args.replicates == 2 and args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableX"])
+
+
+class TestMain:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "schizophrenia" in out and "171,763" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "breast.basal" in out and "3167" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "1-hot" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "ordinary FRaC" in out
+
+    def test_fig3_smoke(self, capsys):
+        assert main(
+            ["fig3", "--scale", "0.002", "--samples", "0.3", "--projections", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out

@@ -1,0 +1,28 @@
+"""CLI flag handling beyond the basics."""
+
+import logging
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestVerboseFlag:
+    def test_verbose_enables_repro_logging(self, capsys):
+        root = logging.getLogger("repro")
+        handlers_before = list(root.handlers)
+        try:
+            assert main(["fig2", "--verbose"]) == 0
+            assert len(root.handlers) > len(handlers_before)
+        finally:
+            for h in list(root.handlers):
+                if h not in handlers_before:
+                    root.removeHandler(h)
+
+    def test_output_flag_parsed(self):
+        args = build_parser().parse_args(["report", "--output", "r.md"])
+        assert args.output == "r.md"
+
+    def test_projections_flag(self):
+        args = build_parser().parse_args(["fig3", "--projections", "3"])
+        assert args.projections == 3

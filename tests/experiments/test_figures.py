@@ -1,0 +1,54 @@
+"""Tests for the structural figure reproductions (Figs. 1 and 2)."""
+
+import numpy as np
+
+from repro.experiments.figures import fig1_structure, fig2_preprojection
+
+
+class TestFig1:
+    def test_variants_present(self):
+        out = fig1_structure(n_features=6, n_samples=20, rng=0)
+        assert set(out) == {
+            "ordinary FRaC",
+            "full filtering (p=0.5)",
+            "partial filtering (p=0.5)",
+            "diverse (p=0.5)",
+        }
+
+    def test_ordinary_uses_everything(self):
+        out = fig1_structure(n_features=6, n_samples=20, rng=0)
+        lines = out["ordinary FRaC"]
+        assert len(lines) == 6
+        for line in lines:
+            marks = line.split(": ")[1]
+            assert marks.count("x") == 5 and marks.count("T") == 1
+
+    def test_full_filtering_restricts_both(self):
+        out = fig1_structure(n_features=6, n_samples=20, rng=0)
+        lines = out["full filtering (p=0.5)"]
+        assert len(lines) == 3  # half the features are targets
+        for line in lines:
+            marks = line.split(": ")[1]
+            assert marks.count(".") >= 3  # filtered features unused
+
+    def test_partial_filtering_full_inputs(self):
+        out = fig1_structure(n_features=6, n_samples=20, rng=0)
+        for line in out["partial filtering (p=0.5)"]:
+            marks = line.split(": ")[1]
+            assert marks.count("x") == 5  # all others are inputs
+
+
+class TestFig2:
+    def test_paper_values(self):
+        out = fig2_preprojection(rng=0)
+        assert out["datum"] == [3.4, 0.0, -2.0, 0.6, 1.0, 2.0]
+        assert out["one_hot_concatenated"] == [
+            3.4, 0.0, -2.0, 0.6, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0
+        ]
+        assert out["jl_shape"] == (4, 11)
+        assert len(out["projected"]) == 4
+        assert all(np.isfinite(out["projected"]))
+
+    def test_schema_rendering(self):
+        out = fig2_preprojection(rng=0)
+        assert out["schema"] == ["R", "R", "R", "R", "{0..2}", "{0..3}"]

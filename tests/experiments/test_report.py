@@ -1,0 +1,54 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.experiments import smoke_study
+from repro.experiments.report import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return smoke_study()
+
+
+class TestBuildReport:
+    def test_light_sections_only(self, settings):
+        md = build_report(settings, include=("table1", "fig1", "fig2"))
+        assert md.startswith("# Reproduction report")
+        assert "Table I" in md and "Figure 1" in md and "Figure 2" in md
+        assert "Table III" not in md
+
+    def test_table2_includes_paper_column(self, settings):
+        md = build_report(settings, include=("table2",))
+        assert "paper AUC" in md
+        assert "schizophrenia" in md  # the extrapolated row
+
+    def test_fig3_sweep_section(self, settings):
+        md = build_report(settings, include=("fig3",), fig3_projections=1)
+        assert "Figure 3" in md and "Paper Fig. 3" in md
+
+    def test_write_report(self, tmp_path, settings):
+        path = write_report(settings, tmp_path / "r.md", include=("table1",))
+        assert path.exists()
+        assert "Table I" in path.read_text(encoding="utf-8")
+
+
+class TestCLIReport:
+    def test_report_command(self, tmp_path):
+        from repro.cli import main
+
+        out_file = tmp_path / "report.md"
+        rc = main(
+            [
+                "report",
+                "--scale", "0.0025",
+                "--samples", "0.4",
+                "--replicates", "2",
+                "--projections", "1",
+                "--output", str(out_file),
+            ]
+        )
+        assert rc == 0
+        text = out_file.read_text(encoding="utf-8")
+        assert "# Reproduction report" in text
+        assert "Table V" in text

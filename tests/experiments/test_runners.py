@@ -1,0 +1,53 @@
+"""Tests for variant construction."""
+
+import pytest
+
+from repro.baselines import LOFDetector
+from repro.core import DiverseFRaC, FilteredFRaC, FRaC, FRaCEnsemble, JLFRaC
+from repro.experiments.runners import ALL_METHODS, PAPER_METHODS, make_detector
+from repro.experiments.settings import smoke_study
+from repro.utils.exceptions import DataError
+
+
+class TestMakeDetector:
+    def test_all_methods_constructible(self):
+        s = smoke_study()
+        for method in ALL_METHODS:
+            det = make_detector(method, "breast.basal", s, rng=0)
+            assert det is not None
+
+    def test_paper_method_types(self):
+        s = smoke_study()
+        assert isinstance(make_detector("full", "bild", s), FRaC)
+        assert isinstance(make_detector("random_ensemble", "bild", s), FRaCEnsemble)
+        assert isinstance(make_detector("jl", "bild", s), JLFRaC)
+        assert isinstance(make_detector("entropy", "bild", s), FilteredFRaC)
+        assert isinstance(make_detector("diverse", "bild", s), DiverseFRaC)
+        assert isinstance(make_detector("lof", "bild", s), LOFDetector)
+
+    def test_paper_parameters_wired(self):
+        s = smoke_study()
+        ens = make_detector("random_ensemble", "bild", s)
+        assert ens.n_members == s.n_members
+        div = make_detector("diverse", "bild", s)
+        assert div.p == s.diverse_p
+        ent = make_detector("entropy", "bild", s)
+        assert ent.p == s.filter_p and ent.method == "entropy"
+
+    def test_jl_component_override(self):
+        s = smoke_study()
+        det = make_detector("jl", "schizophrenia", s, jl_components=32)
+        assert det.n_components == 32
+
+    def test_snp_gets_tree_config(self):
+        s = smoke_study()
+        det = make_detector("full", "autism", s)
+        assert det.config.classifier == "tree"
+        assert det.config.regressor == "tree_regressor"
+
+    def test_unknown_method(self):
+        with pytest.raises(DataError):
+            make_detector("magic", "bild", smoke_study())
+
+    def test_paper_methods_subset_of_all(self):
+        assert set(PAPER_METHODS) <= set(ALL_METHODS)

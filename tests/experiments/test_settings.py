@@ -1,0 +1,51 @@
+"""Tests for study settings."""
+
+import pytest
+
+from repro.core.config import FRaCConfig
+from repro.experiments.settings import StudySettings, default_study, smoke_study
+from repro.utils.exceptions import DataError
+
+
+class TestStudySettings:
+    def test_defaults_match_paper_protocol(self):
+        s = default_study()
+        assert s.n_replicates == 5
+        assert s.filter_p == 0.05
+        assert s.n_members == 10
+        assert s.diverse_p == 0.5
+        assert s.diverse_ensemble_p == pytest.approx(1 / 20)
+
+    def test_jl_components_scale_with_features(self):
+        s = StudySettings(scale=1.0)
+        assert s.jl_components == 1024
+        s_small = StudySettings(scale=1 / 128)
+        assert s_small.jl_components == 8
+
+    def test_jl_dim_sweep_points(self):
+        s = StudySettings(scale=1.0)
+        assert s.jl_dim(1024) == 1024
+        assert s.jl_dim(2048) == 2048
+        assert s.jl_dim(4096) == 4096
+        small = StudySettings(scale=1 / 128)
+        assert small.jl_dim(2048) == 16
+
+    def test_config_for_kind(self):
+        s = default_study()
+        assert s.config_for("biomarkers").regressor == "linear_svr"
+        assert s.config_for("autism").classifier == "tree"
+
+    def test_config_for_unknown(self):
+        with pytest.raises(DataError):
+            default_study().config_for("nope")
+
+    def test_bad_scale(self):
+        with pytest.raises(DataError):
+            StudySettings(scale=0.0)
+        with pytest.raises(DataError):
+            StudySettings(sample_scale=2.0)
+
+    def test_smoke_is_fast_config(self):
+        s = smoke_study()
+        assert s.expression_config.regressor == "ridge"
+        assert s.n_replicates == 2

@@ -1,0 +1,93 @@
+"""Unit tests for the shape-check library (synthetic rows, no FRaC runs)."""
+
+import pytest
+
+from repro.eval.stats import MeanStd
+from repro.experiments.shapes import (
+    ShapeCheck,
+    check_autism_unlearnable,
+    check_diverse_work_near_half,
+    check_entropy_cheapest,
+    check_fig3_improves_with_dimension,
+    check_schizophrenia_ordering,
+    check_variants_cost_less,
+    run_all,
+)
+
+
+def _frac_row(method, work, mem):
+    return {"method": method, "work_fraction": work, "mem_fraction": mem}
+
+
+class TestCostChecks:
+    def test_variants_cost_less_pass(self):
+        rows = [_frac_row("a", 0.1, 0.2), _frac_row("b", 0.9, 0.5)]
+        assert all(c.passed for c in check_variants_cost_less(rows))
+
+    def test_variants_cost_less_fail(self):
+        rows = [_frac_row("a", 1.2, 0.2)]
+        checks = {c.name: c for c in check_variants_cost_less(rows)}
+        assert not checks["variants work_fraction < 1"].passed
+        assert checks["variants mem_fraction < 1"].passed
+
+    def test_entropy_cheapest(self):
+        rows = [
+            _frac_row("entropy", 0.002, 0.01),
+            _frac_row("random_ensemble", 0.02, 0.01),
+            _frac_row("jl", 0.05, 0.05),
+        ]
+        assert check_entropy_cheapest(rows).passed
+
+    def test_entropy_not_cheapest(self):
+        rows = [_frac_row("entropy", 0.5, 0.01), _frac_row("jl", 0.01, 0.05)]
+        assert not check_entropy_cheapest(rows).passed
+
+    def test_diverse_near_half(self):
+        rows = [_frac_row("diverse", 0.45, 0.5), _frac_row("diverse", 0.55, 0.5)]
+        assert check_diverse_work_near_half(rows).passed
+        rows = [_frac_row("diverse", 0.05, 0.5)]
+        assert not check_diverse_work_near_half(rows).passed
+
+
+class TestAUCChecks:
+    def test_autism(self):
+        rows = [{"data set": "autism", "auc": MeanStd(0.52, 0.03, 5)}]
+        assert check_autism_unlearnable(rows).passed
+        rows = [{"data set": "autism", "auc": MeanStd(0.9, 0.03, 5)}]
+        assert not check_autism_unlearnable(rows).passed
+
+    def test_autism_missing_row(self):
+        assert not check_autism_unlearnable([]).passed
+
+    def test_schizophrenia_ordering(self):
+        rows = [
+            {"method": "entropy", "auc": MeanStd(1.0, 0, 1)},
+            {"method": "random_ensemble", "auc": MeanStd(0.86, 0, 1)},
+            {"method": "jl_16d", "auc": MeanStd(0.55, 0, 1)},
+        ]
+        assert check_schizophrenia_ordering(rows).passed
+
+    def test_schizophrenia_ordering_violated(self):
+        rows = [
+            {"method": "entropy", "auc": MeanStd(0.6, 0, 1)},
+            {"method": "random_ensemble", "auc": MeanStd(0.86, 0, 1)},
+            {"method": "jl_16d", "auc": MeanStd(0.99, 0, 1)},
+        ]
+        assert not check_schizophrenia_ordering(rows).passed
+
+    def test_fig3(self):
+        rows = [
+            {"auc": MeanStd(0.55, 0.1, 10)},
+            {"auc": MeanStd(0.64, 0.1, 10)},
+        ]
+        assert check_fig3_improves_with_dimension(rows).passed
+        assert not check_fig3_improves_with_dimension(rows[:1]).passed
+
+
+class TestRunAll:
+    def test_str_format(self):
+        c = ShapeCheck(name="x", passed=True, detail="d")
+        assert str(c) == "[PASS] x: d"
+
+    def test_empty_inputs_no_checks(self):
+        assert run_all() == []

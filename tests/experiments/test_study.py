@@ -1,0 +1,79 @@
+"""Tests for the table/figure drivers (at smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.settings import smoke_study
+from repro.experiments.study import (
+    RUNNABLE_DATASETS,
+    extrapolate_full_cost,
+    fig3_sweep,
+    run_method_on_dataset,
+    table5,
+)
+from repro.parallel.resources import ResourceReport
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return smoke_study()
+
+
+class TestRunMethod:
+    def test_replicates_shared_across_methods(self, settings):
+        """Both methods must be evaluated on identical replicate splits."""
+        full = run_method_on_dataset("full", "breast.basal", settings)
+        again = run_method_on_dataset("full", "breast.basal", settings)
+        assert full.aucs == again.aucs
+
+    def test_result_metadata(self, settings):
+        r = run_method_on_dataset("zscore", "breast.basal", settings)
+        assert r.dataset == "breast.basal"
+        assert len(r.aucs) == settings.n_replicates
+
+
+class TestExtrapolation:
+    def test_quadratic_in_features_linear_in_samples(self):
+        base = ResourceReport(cpu_seconds=10.0, memory_bytes=1000, n_tasks=100)
+        est = extrapolate_full_cost(
+            base, autism_features=100, autism_train=50,
+            target_features=200, target_train=100,
+        )
+        assert est.cpu_seconds == pytest.approx(10.0 * 4 * 2)
+        assert est.memory_bytes == 4000
+        assert est.n_tasks == 200
+
+    def test_identity(self):
+        base = ResourceReport(cpu_seconds=5.0, memory_bytes=100, n_tasks=10)
+        est = extrapolate_full_cost(
+            base, autism_features=10, autism_train=10,
+            target_features=10, target_train=10,
+        )
+        assert est.cpu_seconds == 5.0 and est.memory_bytes == 100
+
+    def test_bad_geometry(self):
+        with pytest.raises(DataError):
+            extrapolate_full_cost(
+                ResourceReport(1.0, 1), autism_features=0, autism_train=1,
+                target_features=1, target_train=1,
+            )
+
+
+class TestRunnableDatasets:
+    def test_schizophrenia_excluded(self):
+        assert "schizophrenia" not in RUNNABLE_DATASETS
+        assert len(RUNNABLE_DATASETS) == 7
+
+
+class TestFig3Sweep:
+    def test_sweep_shape(self, settings):
+        rows = fig3_sweep(settings, paper_dims=(1024, 2048), n_projections=2)
+        assert [r["paper_dim"] for r in rows] == [1024, 2048]
+        assert all(0 <= r["auc"].mean <= 1 for r in rows)
+        assert rows[0]["scaled_dim"] < rows[1]["scaled_dim"]
+
+    def test_deterministic(self, settings):
+        a = fig3_sweep(settings, paper_dims=(1024,), n_projections=2)
+        b = fig3_sweep(settings, paper_dims=(1024,), n_projections=2)
+        assert a[0]["auc"].mean == b[0]["auc"].mean

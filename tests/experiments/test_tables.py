@@ -1,0 +1,58 @@
+"""Tests for table/series rendering."""
+
+from repro.eval.stats import MeanStd
+from repro.experiments.tables import render_ascii_series, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        rows = [
+            {"data set": "bild", "auc": MeanStd(0.84, 0.08, 5), "time_s": 1.234},
+            {"data set": "ethnic", "auc": MeanStd(0.71, 0.03, 5), "time_s": 0.002},
+        ]
+        out = render_table(rows, title="Table II")
+        assert "Table II" in out
+        assert "0.84 (0.08)" in out
+        assert "bild" in out and "ethnic" in out
+        assert "0.0020" in out  # small floats keep 4 decimals
+
+    def test_none_renders_na(self):
+        out = render_table([{"auc": None}])
+        assert "N/A" in out
+
+    def test_bool_renders_est(self):
+        out = render_table([{"estimated": True}, {"estimated": False}])
+        assert "est." in out
+
+    def test_big_int_thousands(self):
+        out = render_table([{"mem": 22_165_437}])
+        assert "22,165,437" in out
+
+    def test_empty(self):
+        assert "(empty)" in render_table([])
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_table(rows, columns=["b"])
+        assert "b" in out and "a" not in out.splitlines()[0]
+
+
+class TestAsciiSeries:
+    def test_series(self):
+        rows = [
+            {"dim": 1024, "auc": MeanStd(0.55, 0.08, 10)},
+            {"dim": 2048, "auc": MeanStd(0.63, 0.09, 10)},
+            {"dim": 4096, "auc": MeanStd(0.64, 0.08, 10)},
+        ]
+        out = render_ascii_series(rows, "dim", "auc", title="Fig 3")
+        assert "Fig 3" in out
+        assert out.count("o") == 3
+        assert "0.550" in out
+
+    def test_plain_floats(self):
+        rows = [{"x": 1, "y": 0.5}, {"x": 2, "y": 0.7}]
+        out = render_ascii_series(rows, "x", "y")
+        assert "0.500" in out
+
+    def test_empty(self):
+        assert render_ascii_series([], "x", "y") == "(empty)"

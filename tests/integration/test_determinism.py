@@ -1,0 +1,55 @@
+"""Cross-cutting determinism guarantees (DESIGN.md §6)."""
+
+import numpy as np
+import pytest
+
+from repro import FRaC, FRaCConfig, load_replicates
+from repro.core import DiverseFRaC, JLFRaC, diverse_ensemble, random_filter_ensemble
+from repro.parallel.executor import ExecutionConfig
+
+
+@pytest.fixture(scope="module")
+def rep():
+    return load_replicates("breast.basal", scale=0.03, rng=5)[0]
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda cfg, rng: FRaC(cfg, rng=rng),
+            lambda cfg, rng: DiverseFRaC(p=0.4, config=cfg, rng=rng),
+            lambda cfg, rng: JLFRaC(n_components=8, config=cfg, rng=rng),
+            lambda cfg, rng: random_filter_ensemble(p=0.2, n_members=3, config=cfg, rng=rng),
+            lambda cfg, rng: diverse_ensemble(p=0.15, n_members=3, config=cfg, rng=rng),
+        ],
+        ids=["full", "diverse", "jl", "rand-ens", "div-ens"],
+    )
+    def test_same_seed_same_scores(self, rep, factory):
+        cfg = FRaCConfig.fast()
+        a = factory(cfg, 33)
+        b = factory(cfg, 33)
+        a.fit(rep.x_train, rep.schema)
+        b.fit(rep.x_train, rep.schema)
+        np.testing.assert_array_equal(a.score(rep.x_test), b.score(rep.x_test))
+
+    def test_different_seed_different_scores(self, rep):
+        cfg = FRaCConfig.fast()
+        a = DiverseFRaC(p=0.4, config=cfg, rng=1).fit(rep.x_train, rep.schema)
+        b = DiverseFRaC(p=0.4, config=cfg, rng=2).fit(rep.x_train, rep.schema)
+        assert not np.array_equal(a.score(rep.x_test), b.score(rep.x_test))
+
+
+class TestExecutorInvariance:
+    def test_process_pool_matches_serial_on_ensemble(self, rep):
+        serial_cfg = FRaCConfig.fast()
+        pool_cfg = FRaCConfig.fast(
+            execution=ExecutionConfig(mode="process", n_workers=2)
+        )
+        a = random_filter_ensemble(p=0.25, n_members=2, config=serial_cfg, rng=8)
+        b = random_filter_ensemble(p=0.25, n_members=2, config=pool_cfg, rng=8)
+        a.fit(rep.x_train, rep.schema)
+        b.fit(rep.x_train, rep.schema)
+        np.testing.assert_allclose(
+            a.score(rep.x_test), b.score(rep.x_test), rtol=1e-10
+        )

@@ -1,0 +1,122 @@
+"""Failure injection: degenerate data must degrade gracefully, not crash."""
+
+import numpy as np
+import pytest
+
+from repro import FRaC, FRaCConfig, FilteredFRaC, JLFRaC
+from repro.data.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture
+def cfg():
+    return FRaCConfig.fast()
+
+
+class TestDegenerateTraining:
+    def test_all_constant_features(self, cfg):
+        x = np.ones((20, 5))
+        frac = FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(5))
+        scores = frac.score(np.ones((3, 5)))
+        assert np.isfinite(scores).all()
+
+    def test_constant_feature_deviating_at_test_scores_high(self, cfg):
+        gen = np.random.default_rng(0)
+        x = gen.standard_normal((30, 4))
+        x[:, 0] = 1.0
+        frac = FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(4))
+        normal_test = np.column_stack([np.ones(3), gen.standard_normal((3, 3))])
+        weird_test = np.column_stack([np.full(3, 9.0), gen.standard_normal((3, 3))])
+        assert frac.score(weird_test).mean() > frac.score(normal_test).mean()
+
+    def test_heavy_missingness(self, cfg):
+        gen = np.random.default_rng(1)
+        x = gen.standard_normal((40, 6))
+        x[gen.random((40, 6)) < 0.5] = np.nan
+        frac = FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(6))
+        test = gen.standard_normal((5, 6))
+        assert np.isfinite(frac.score(test)).all()
+
+    def test_feature_with_too_few_observations_skipped(self, cfg):
+        gen = np.random.default_rng(2)
+        x = gen.standard_normal((20, 4))
+        x[:-2, 0] = np.nan
+        frac = FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(4))
+        assert frac.n_skipped_ == 1
+        assert len(frac.models_) == 3
+
+    def test_all_features_unusable_raises(self, cfg):
+        x = np.full((20, 3), np.nan)
+        x[0] = 1.0  # 1 observed value per feature < min_observed
+        with pytest.raises(DataError):
+            FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(3))
+
+    def test_single_class_categorical_feature(self, cfg):
+        gen = np.random.default_rng(3)
+        x = np.column_stack(
+            [np.zeros(25), gen.integers(0, 3, 25).astype(float),
+             gen.integers(0, 3, 25).astype(float)]
+        )
+        schema = FeatureSchema.all_categorical(3, arity=3)
+        frac = FRaC(cfg, rng=0).fit(x, schema)
+        test = np.column_stack(
+            [np.full(4, 2.0), gen.integers(0, 3, 4).astype(float),
+             gen.integers(0, 3, 4).astype(float)]
+        )
+        # Code 2 was never seen for feature 0; smoothing keeps it finite.
+        assert np.isfinite(frac.score(test)).all()
+
+
+class TestDegenerateTest:
+    def test_all_missing_test_sample_scores_zero(self, cfg):
+        gen = np.random.default_rng(4)
+        x = gen.standard_normal((30, 5))
+        frac = FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(5))
+        test = np.full((1, 5), np.nan)
+        np.testing.assert_array_equal(frac.score(test), 0.0)
+
+    def test_extreme_test_values(self, cfg):
+        gen = np.random.default_rng(5)
+        x = gen.standard_normal((30, 5))
+        frac = FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(5))
+        test = np.full((2, 5), 1e6)
+        scores = frac.score(test)
+        assert np.isfinite(scores).all()
+        assert (scores > 0).all()
+
+
+class TestVariantEdgeCases:
+    def test_filter_keeps_minimum_two(self, cfg):
+        gen = np.random.default_rng(6)
+        x = gen.standard_normal((25, 10))
+        det = FilteredFRaC(p=0.01, config=cfg, rng=0).fit(x, FeatureSchema.all_real(10))
+        assert len(det.kept_features_) == 2
+
+    def test_jl_more_components_than_features(self, cfg):
+        gen = np.random.default_rng(7)
+        x = gen.standard_normal((25, 6))
+        det = JLFRaC(n_components=12, config=cfg, rng=0).fit(x, FeatureSchema.all_real(6))
+        assert np.isfinite(det.score(gen.standard_normal((3, 6)))).all()
+
+    def test_tiny_training_set(self, cfg):
+        gen = np.random.default_rng(8)
+        x = gen.standard_normal((5, 4))
+        frac = FRaC(cfg, rng=0).fit(x, FeatureSchema.all_real(4))
+        assert np.isfinite(frac.score(gen.standard_normal((2, 4)))).all()
+
+    def test_mixed_schema_end_to_end(self, cfg):
+        gen = np.random.default_rng(9)
+        schema = FeatureSchema(
+            [FeatureSpec(FeatureKind.REAL)] * 3
+            + [FeatureSpec(FeatureKind.CATEGORICAL, arity=3)] * 3
+        )
+        x = np.column_stack(
+            [gen.standard_normal((30, 3)), gen.integers(0, 3, (30, 3)).astype(float)]
+        )
+        frac = FRaC(cfg, rng=0).fit(x, schema)
+        test = np.column_stack(
+            [gen.standard_normal((4, 3)), gen.integers(0, 3, (4, 3)).astype(float)]
+        )
+        assert np.isfinite(frac.score(test)).all()
+        det = JLFRaC(n_components=5, config=cfg, rng=0).fit(x, schema)
+        assert np.isfinite(det.score(test)).all()

@@ -1,0 +1,62 @@
+"""The reproduction contract, asserted at smoke scale.
+
+These run the actual table drivers (tiny settings) and assert the
+paper-shape checks that are robust at that scale: the deterministic cost
+models always, the coarse AUC orderings where the smoke signal supports
+them.
+"""
+
+import pytest
+
+from repro.experiments import smoke_study, table2, table3, table5
+from repro.experiments.shapes import (
+    check_autism_unlearnable,
+    check_entropy_cheapest,
+    check_schizophrenia_ordering,
+    check_variants_cost_less,
+    run_all,
+)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return smoke_study()
+
+
+@pytest.fixture(scope="module")
+def t3(settings):
+    return table3(settings)
+
+
+class TestCostShapes:
+    def test_every_variant_cheaper_than_full(self, t3):
+        for check in check_variants_cost_less(t3):
+            assert check.passed, str(check)
+
+    def test_entropy_is_cheapest(self, t3):
+        check = check_entropy_cheapest(t3)
+        assert check.passed, str(check)
+
+
+class TestAUCShapes:
+    def test_autism_unlearnable(self, settings):
+        rows = table2(settings)
+        check = check_autism_unlearnable(rows, slack=0.15)
+        assert check.passed, str(check)
+
+    def test_schizophrenia_ordering(self, settings):
+        rows = table5(settings)
+        check = check_schizophrenia_ordering(rows)
+        assert check.passed, str(check)
+
+
+class TestRunAll:
+    def test_aggregates_supplied_inputs_only(self, t3):
+        checks = run_all(table3_rows=t3)
+        names = {c.name for c in checks}
+        assert "entropy filtering is cheapest" in names
+        assert "autism AUC ~ 0.5" not in names
+
+    def test_str_rendering(self, t3):
+        checks = run_all(table3_rows=t3)
+        assert all(str(c).startswith("[") for c in checks)

@@ -1,0 +1,63 @@
+"""Executor invariance and determinism on the categorical (SNP) path.
+
+The expression path is covered in tests/core/test_frac.py; the SNP path
+exercises different engine branches (confusion error models, discrete
+entropy, tree learners), so its determinism guarantees are verified
+separately.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FRaC, FRaCConfig
+from repro.core import JLFRaC, random_filter_ensemble
+from repro.parallel.executor import ExecutionConfig
+
+
+@pytest.fixture(scope="module")
+def snp_cfg():
+    return FRaCConfig.fast(
+        regressor="tree_regressor",
+        regressor_params={"max_depth": 3},
+        classifier_params={"max_depth": 3},
+    )
+
+
+class TestSNPDeterminism:
+    def test_same_seed_same_scores(self, snp_replicate, snp_cfg):
+        rep = snp_replicate
+        a = FRaC(snp_cfg, rng=21).fit(rep.x_train, rep.schema).score(rep.x_test)
+        b = FRaC(snp_cfg, rng=21).fit(rep.x_train, rep.schema).score(rep.x_test)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    def test_executor_invariance(self, snp_replicate, mode):
+        rep = snp_replicate
+        serial_cfg = FRaCConfig.fast(
+            regressor="tree_regressor",
+            regressor_params={"max_depth": 3},
+            classifier_params={"max_depth": 3},
+        )
+        pool_cfg = FRaCConfig.fast(
+            regressor="tree_regressor",
+            regressor_params={"max_depth": 3},
+            classifier_params={"max_depth": 3},
+            execution=ExecutionConfig(mode=mode, n_workers=2),
+        )
+        a = FRaC(serial_cfg, rng=4).fit(rep.x_train, rep.schema).score(rep.x_test)
+        b = FRaC(pool_cfg, rng=4).fit(rep.x_train, rep.schema).score(rep.x_test)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_jl_on_snp_deterministic(self, snp_replicate, snp_cfg):
+        rep = snp_replicate
+        a = JLFRaC(n_components=6, config=snp_cfg, rng=8).fit(rep.x_train, rep.schema)
+        b = JLFRaC(n_components=6, config=snp_cfg, rng=8).fit(rep.x_train, rep.schema)
+        np.testing.assert_array_equal(a.score(rep.x_test), b.score(rep.x_test))
+
+    def test_ensemble_on_snp_deterministic(self, snp_replicate, snp_cfg):
+        rep = snp_replicate
+        a = random_filter_ensemble(p=0.25, n_members=3, config=snp_cfg, rng=2)
+        b = random_filter_ensemble(p=0.25, n_members=3, config=snp_cfg, rng=2)
+        a.fit(rep.x_train, rep.schema)
+        b.fit(rep.x_train, rep.schema)
+        np.testing.assert_array_equal(a.score(rep.x_test), b.score(rep.x_test))

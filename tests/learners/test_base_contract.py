@@ -1,0 +1,78 @@
+"""Contract tests every registered learner must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.learners.registry import CLASSIFIERS, REGRESSORS, make_learner
+from repro.utils.exceptions import NotFittedError
+
+
+def _regression_data(seed=0, n=30, d=4):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n, d))
+    return x, x[:, 0] * 2.0 + 0.1 * gen.standard_normal(n)
+
+
+def _classification_data(seed=0, n=40, d=4):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n, d))
+    return x, (x[:, 0] > 0).astype(float)
+
+
+class TestRegressorContract:
+    @pytest.mark.parametrize("name", sorted(REGRESSORS))
+    def test_fit_predict_shape_and_finiteness(self, name):
+        x, y = _regression_data()
+        model = make_learner(name).fit(x, y)
+        pred = model.predict(x)
+        assert pred.shape == (30,)
+        assert np.isfinite(pred).all()
+
+    @pytest.mark.parametrize("name", sorted(REGRESSORS))
+    def test_clone_is_unfitted_and_refittable(self, name):
+        x, y = _regression_data()
+        model = make_learner(name).fit(x, y)
+        fresh = model.clone()
+        with pytest.raises(NotFittedError):
+            fresh.predict(x)
+        fresh.fit(x, y)
+        np.testing.assert_allclose(fresh.predict(x), model.predict(x))
+
+    @pytest.mark.parametrize("name", sorted(REGRESSORS))
+    def test_model_nbytes_nonnegative_after_fit(self, name):
+        x, y = _regression_data()
+        model = make_learner(name)
+        model.fit(x, y)
+        assert model.model_nbytes >= 0
+
+    @pytest.mark.parametrize("name", sorted(REGRESSORS))
+    def test_rejects_nonfinite_targets(self, name):
+        x, y = _regression_data()
+        y = y.copy()
+        y[0] = np.nan
+        with pytest.raises(Exception):
+            make_learner(name).fit(x, y)
+
+
+class TestClassifierContract:
+    @pytest.mark.parametrize("name", sorted(CLASSIFIERS))
+    def test_fit_predict_valid_codes(self, name):
+        x, y = _classification_data()
+        model = make_learner(name).fit(x, y)
+        pred = model.predict(x)
+        assert set(np.unique(pred)) <= set(np.unique(y))
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIERS))
+    def test_clone_reproduces(self, name):
+        x, y = _classification_data()
+        model = make_learner(name).fit(x, y)
+        fresh = model.clone().fit(x, y)
+        np.testing.assert_array_equal(fresh.predict(x), model.predict(x))
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIERS))
+    def test_single_class_training(self, name):
+        gen = np.random.default_rng(1)
+        x = gen.standard_normal((10, 3))
+        y = np.full(10, 2.0)
+        model = make_learner(name).fit(x, y)
+        np.testing.assert_array_equal(model.predict(x), 2.0)

@@ -1,0 +1,44 @@
+"""Tests for constant-prediction learners."""
+
+import numpy as np
+import pytest
+
+from repro.learners.dummy import MajorityClassifier, MeanRegressor
+from repro.utils.exceptions import NotFittedError
+
+
+class TestMeanRegressor:
+    def test_predicts_mean(self):
+        m = MeanRegressor().fit(np.zeros((4, 2)), np.array([1.0, 2, 3, 4]))
+        np.testing.assert_allclose(m.predict(np.zeros((3, 2))), 2.5)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MeanRegressor().predict(np.zeros((1, 1)))
+
+    def test_empty_train(self):
+        with pytest.raises(ValueError):
+            MeanRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_clone(self):
+        m = MeanRegressor().fit(np.zeros((2, 1)), np.ones(2))
+        assert m.clone().mean_ is None
+
+
+class TestMajorityClassifier:
+    def test_predicts_mode(self):
+        y = np.array([0.0, 1.0, 1.0, 2.0])
+        m = MajorityClassifier().fit(np.zeros((4, 3)), y)
+        np.testing.assert_array_equal(m.predict(np.zeros((2, 3))), 1.0)
+
+    def test_tie_breaks_to_smallest_code(self):
+        y = np.array([2.0, 0.0])
+        m = MajorityClassifier().fit(np.zeros((2, 1)), y)
+        assert m.predict(np.zeros((1, 1)))[0] == 0.0
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MajorityClassifier().predict(np.zeros((1, 1)))
+
+    def test_model_nbytes(self):
+        assert MajorityClassifier().fit(np.zeros((2, 1)), np.zeros(2)).model_nbytes == 8

@@ -1,0 +1,160 @@
+"""Tests for the from-scratch linear SVR/SVC (LIBLINEAR-style DCD)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.learners.linear_svm import LinearSVC, LinearSVR
+from repro.utils.exceptions import NotFittedError
+
+
+def _linear_problem(n=60, d=8, noise=0.05, seed=0):
+    gen = np.random.default_rng(seed)
+    x = gen.standard_normal((n, d))
+    w = gen.standard_normal(d)
+    y = x @ w + 1.5 + noise * gen.standard_normal(n)
+    return x, y, w
+
+
+class TestLinearSVR:
+    def test_recovers_linear_function(self):
+        x, y, _ = _linear_problem()
+        m = LinearSVR(c=10.0, epsilon=0.01).fit(x, y)
+        pred = m.predict(x)
+        assert np.abs(pred - y).mean() < 0.1
+
+    def test_generalizes(self):
+        x, y, w = _linear_problem(n=80)
+        gen = np.random.default_rng(99)
+        x_new = gen.standard_normal((40, x.shape[1]))
+        y_new = x_new @ w + 1.5
+        m = LinearSVR(c=10.0, epsilon=0.01).fit(x, y)
+        assert np.abs(m.predict(x_new) - y_new).mean() < 0.2
+
+    def test_intercept_learned(self):
+        x = np.zeros((20, 2))
+        x[:, 0] = np.linspace(-1, 1, 20)
+        y = 3.0 + 0 * x[:, 0]
+        m = LinearSVR(epsilon=0.01).fit(x, y)
+        assert abs(m.intercept_ - 3.0) < 0.2
+
+    def test_epsilon_tube_ignores_small_noise(self):
+        """Targets within the tube of a constant leave w at zero."""
+        gen = np.random.default_rng(0)
+        x = gen.standard_normal((30, 3))
+        y = np.full(30, 2.0) + 0.01 * gen.standard_normal(30)
+        m = LinearSVR(epsilon=0.5).fit(x, y)
+        assert np.abs(m.coef_).max() < 0.2
+
+    def test_regularization_bounds_weights(self):
+        x, y, _ = _linear_problem(n=10, d=50)  # underdetermined
+        weak = LinearSVR(c=0.001).fit(x, y)
+        strong = LinearSVR(c=10.0).fit(x, y)
+        assert np.linalg.norm(weak.coef_) < np.linalg.norm(strong.coef_)
+
+    def test_zero_features_predicts_median(self):
+        m = LinearSVR().fit(np.zeros((9, 0)), np.arange(9.0))
+        np.testing.assert_allclose(m.predict(np.zeros((3, 0))), 4.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVR().predict(np.zeros((2, 2)))
+
+    def test_width_mismatch(self):
+        m = LinearSVR().fit(np.zeros((5, 3)), np.zeros(5))
+        with pytest.raises(ValueError, match="features"):
+            m.predict(np.zeros((2, 4)))
+
+    @pytest.mark.parametrize("bad", [dict(c=0), dict(c=-1), dict(epsilon=-0.1)])
+    def test_bad_params(self, bad):
+        with pytest.raises(ValueError):
+            LinearSVR(**bad)
+
+    def test_clone_resets(self):
+        m = LinearSVR().fit(*_linear_problem()[:2])
+        fresh = m.clone()
+        assert fresh.coef_ is None and m.coef_ is not None
+        assert fresh.c == m.c
+
+    def test_deterministic_given_seed(self):
+        x, y, _ = _linear_problem()
+        a = LinearSVR(seed=3).fit(x, y).coef_
+        b = LinearSVR(seed=3).fit(x, y).coef_
+        np.testing.assert_array_equal(a, b)
+
+    def test_model_nbytes(self):
+        m = LinearSVR()
+        assert m.model_nbytes == 0
+        m.fit(*_linear_problem(d=6)[:2])
+        assert m.model_nbytes == 6 * 8 + 8
+
+    def test_rejects_nan_input(self):
+        from repro.utils.exceptions import DataError
+
+        with pytest.raises(DataError):
+            LinearSVR().fit(np.array([[np.nan, 1.0]]), np.array([0.0]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(shift=st.floats(-5, 5), scale=st.floats(0.5, 3))
+    def test_solution_tracks_affine_target(self, shift, scale):
+        """Fitted predictions follow affine transforms of the target."""
+        x, y, _ = _linear_problem(n=40, d=4, noise=0.0, seed=1)
+        base = LinearSVR(c=10.0, epsilon=0.01).fit(x, y).predict(x)
+        moved = LinearSVR(c=10.0, epsilon=0.01).fit(x, scale * y + shift).predict(x)
+        np.testing.assert_allclose(moved, scale * base + shift, atol=0.3 + 0.3 * abs(scale))
+
+
+class TestLinearSVC:
+    def _blobs(self, n=60, d=4, k=2, sep=4.0, seed=0):
+        gen = np.random.default_rng(seed)
+        centers = gen.standard_normal((k, d)) * sep
+        y = np.repeat(np.arange(k), n // k)
+        x = centers[y] + gen.standard_normal((len(y), d))
+        return x, y.astype(float)
+
+    def test_binary_separable(self):
+        x, y = self._blobs()
+        m = LinearSVC(c=1.0).fit(x, y)
+        assert (m.predict(x) == y).mean() > 0.95
+
+    def test_multiclass(self):
+        x, y = self._blobs(n=90, k=3)
+        m = LinearSVC(c=1.0).fit(x, y)
+        assert (m.predict(x) == y).mean() > 0.9
+
+    def test_single_class_degenerates_to_majority(self):
+        x = np.random.default_rng(0).standard_normal((10, 3))
+        y = np.full(10, 2.0)
+        m = LinearSVC().fit(x, y)
+        np.testing.assert_array_equal(m.predict(x), 2.0)
+
+    def test_zero_features_majority(self):
+        y = np.array([0.0, 1.0, 1.0])
+        m = LinearSVC().fit(np.zeros((3, 0)), y)
+        np.testing.assert_array_equal(m.predict(np.zeros((2, 0))), 1.0)
+
+    def test_classes_preserved_with_gaps(self):
+        """Class codes need not be contiguous."""
+        x, y = self._blobs()
+        y = np.where(y == 0, 3.0, 7.0)
+        m = LinearSVC().fit(x, y)
+        assert set(np.unique(m.predict(x))).issubset({3.0, 7.0})
+
+    def test_decision_function_shape(self):
+        x, y = self._blobs(n=90, k=3)
+        m = LinearSVC().fit(x, y)
+        assert m.decision_function(x).shape == (90, 3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearSVC().predict(np.zeros((1, 2)))
+
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            LinearSVC(c=0)
+
+    def test_clone(self):
+        x, y = self._blobs()
+        m = LinearSVC().fit(x, y)
+        fresh = m.clone()
+        assert fresh.coef_ is None and fresh.c == m.c

@@ -1,0 +1,68 @@
+"""Tests for the categorical naive Bayes classifier."""
+
+import numpy as np
+import pytest
+
+from repro.learners.naive_bayes import CategoricalNB
+from repro.utils.exceptions import NotFittedError
+
+
+def _snp_problem(n=300, seed=0):
+    """Target strongly correlated with feature 0, independent of feature 1."""
+    gen = np.random.default_rng(seed)
+    y = gen.integers(0, 3, size=n).astype(float)
+    x0 = np.where(gen.random(n) < 0.9, y, gen.integers(0, 3, n))
+    x1 = gen.integers(0, 3, size=n).astype(float)
+    return np.column_stack([x0, x1]), y
+
+
+class TestCategoricalNB:
+    def test_learns_correlated_feature(self):
+        x, y = _snp_problem()
+        m = CategoricalNB().fit(x, y)
+        assert (m.predict(x) == y).mean() > 0.85
+
+    def test_prior_only_with_zero_features(self):
+        y = np.array([0.0, 1.0, 1.0])
+        m = CategoricalNB().fit(np.zeros((3, 0)), y)
+        np.testing.assert_array_equal(m.predict(np.zeros((2, 0))), 1.0)
+
+    def test_unseen_value_clipped(self):
+        x, y = _snp_problem()
+        m = CategoricalNB().fit(x, y)
+        weird = np.array([[7.0, 7.0]])  # codes beyond training range
+        assert np.isfinite(m.predict(weird)).all()
+
+    def test_classes_with_gaps(self):
+        gen = np.random.default_rng(1)
+        y = np.where(gen.random(100) < 0.5, 3.0, 9.0)
+        x = np.column_stack([np.where(y == 3.0, 0.0, 2.0)])
+        m = CategoricalNB().fit(x, y)
+        assert set(np.unique(m.predict(x))) <= {3.0, 9.0}
+        assert (m.predict(x) == y).mean() > 0.95
+
+    def test_smoothing_keeps_probabilities_finite(self):
+        x = np.array([[0.0], [0.0]])
+        y = np.array([0.0, 1.0])
+        m = CategoricalNB(smoothing=0.5).fit(x, y)
+        assert np.isfinite(m.log_likelihood_).all()
+
+    def test_bad_smoothing(self):
+        with pytest.raises(ValueError):
+            CategoricalNB(smoothing=0.0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            CategoricalNB().predict(np.zeros((1, 1)))
+
+    def test_usable_in_frac(self, snp_replicate):
+        """naive_bayes plugs into the FRaC engine via the registry."""
+        from repro import FRaC, FRaCConfig
+        from repro.eval import auc_score
+
+        # FRaCConfig.fast sets tree params by default; clear them for NB.
+        cfg = FRaCConfig.fast(classifier="naive_bayes", classifier_params={})
+        rep = snp_replicate
+        frac = FRaC(cfg, rng=0).fit(rep.x_train, rep.schema)
+        auc = auc_score(rep.y_test, frac.score(rep.x_test))
+        assert auc > 0.55

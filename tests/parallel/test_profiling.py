@@ -1,0 +1,34 @@
+"""Tests for profiling helpers."""
+
+from repro.parallel.profiling import SectionTimer, timed_section
+
+
+class TestSectionTimer:
+    def test_accumulates(self):
+        t = SectionTimer()
+        with t.section("a"):
+            sum(range(10_000))
+        with t.section("a"):
+            sum(range(10_000))
+        assert t.wall["a"] > 0 and t.cpu["a"] >= 0
+        assert "a:" in t.summary()
+
+    def test_multiple_sections(self):
+        t = SectionTimer()
+        with t.section("x"):
+            pass
+        with t.section("y"):
+            pass
+        assert set(t.wall) == {"x", "y"}
+
+
+class TestTimedSection:
+    def test_sink(self):
+        sink = []
+        with timed_section("work", sink):
+            sum(range(1000))
+        assert len(sink) == 1 and sink[0][0] == "work" and sink[0][1] >= 0
+
+    def test_no_sink(self):
+        with timed_section("work"):
+            pass

@@ -1,0 +1,69 @@
+"""Tests for resource accounting."""
+
+import pytest
+
+from repro.parallel.resources import (
+    ResourceLog,
+    ResourceReport,
+    TaskCost,
+    design_matrix_bytes,
+)
+
+
+class TestTaskCost:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TaskCost(cpu_seconds=-1.0, design_bytes=0, model_bytes=0)
+
+    def test_design_bytes(self):
+        assert design_matrix_bytes(10, 20) == 1600
+
+
+class TestResourceLog:
+    def test_accumulation(self):
+        log = ResourceLog(data_bytes=1000, n_workers=2)
+        log.add(TaskCost(1.0, 500, 10))
+        log.add(TaskCost(2.0, 300, 20))
+        rep = log.report()
+        assert rep.cpu_seconds == pytest.approx(3.0)
+        # data + workers * peak design + total model state
+        assert rep.memory_bytes == 1000 + 2 * 500 + 30
+        assert rep.n_tasks == 2
+
+    def test_overhead_measured(self):
+        log = ResourceLog()
+        with log.measure_overhead():
+            sum(range(100_000))
+        assert log.report().cpu_seconds > 0.0
+
+
+class TestResourceReport:
+    def test_sequential_composition(self):
+        a = ResourceReport(cpu_seconds=1.0, memory_bytes=100, n_tasks=2)
+        b = ResourceReport(cpu_seconds=2.0, memory_bytes=50, n_tasks=3)
+        c = a + b
+        assert c.cpu_seconds == 3.0
+        assert c.memory_bytes == 100  # max, not sum: members reuse memory
+        assert c.n_tasks == 5
+
+    def test_fraction_of(self):
+        small = ResourceReport(cpu_seconds=1.0, memory_bytes=10)
+        full = ResourceReport(cpu_seconds=4.0, memory_bytes=100)
+        frac = small.fraction_of(full)
+        assert frac["time_fraction"] == pytest.approx(0.25)
+        assert frac["mem_fraction"] == pytest.approx(0.1)
+
+    def test_fraction_of_zero_reference(self):
+        import math
+
+        frac = ResourceReport(1.0, 1).fraction_of(ResourceReport(0.0, 0))
+        assert math.isnan(frac["time_fraction"])
+
+    def test_mean(self):
+        reports = [ResourceReport(1.0, 100, 1), ResourceReport(3.0, 300, 3)]
+        m = ResourceReport.mean(reports)
+        assert m.cpu_seconds == 2.0 and m.memory_bytes == 200 and m.n_tasks == 2
+
+    def test_mean_empty(self):
+        with pytest.raises(ValueError):
+            ResourceReport.mean([])

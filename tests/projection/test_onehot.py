@@ -1,0 +1,83 @@
+"""Tests for the 1-hot encoder (paper Fig. 2, steps 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.schema import FeatureKind, FeatureSchema, FeatureSpec
+from repro.projection.onehot import OneHotEncoder
+from repro.utils.exceptions import DataError
+
+
+def _fig2_schema():
+    return FeatureSchema(
+        [FeatureSpec(FeatureKind.REAL)] * 4
+        + [
+            FeatureSpec(FeatureKind.CATEGORICAL, arity=3),
+            FeatureSpec(FeatureKind.CATEGORICAL, arity=4),
+        ]
+    )
+
+
+class TestFig2Example:
+    def test_paper_example_verbatim(self):
+        """Fig. 2: (3.4, 0, -2, 0.6, 1, 2) -> (3.4, 0, -2, 0.6, 0,1,0, 0,0,1,0)."""
+        enc = OneHotEncoder(_fig2_schema())
+        out = enc.transform(np.array([[3.4, 0.0, -2.0, 0.6, 1.0, 2.0]]))
+        np.testing.assert_allclose(
+            out[0], [3.4, 0.0, -2.0, 0.6, 0, 1, 0, 0, 0, 1, 0]
+        )
+        assert enc.width == 11
+
+    def test_column_spans(self):
+        enc = OneHotEncoder(_fig2_schema())
+        assert enc.column_spans == ((0, 1), (1, 2), (2, 3), (3, 4), (4, 7), (7, 11))
+
+
+class TestEncoder:
+    def test_all_real_is_identity(self):
+        schema = FeatureSchema.all_real(3)
+        x = np.random.default_rng(0).standard_normal((4, 3))
+        np.testing.assert_array_equal(OneHotEncoder(schema).transform(x), x)
+
+    def test_categorical_rows_sum_to_one(self):
+        schema = FeatureSchema.all_categorical(2, arity=3)
+        gen = np.random.default_rng(1)
+        x = gen.integers(0, 3, size=(10, 2)).astype(float)
+        out = OneHotEncoder(schema).transform(x)
+        np.testing.assert_allclose(out.sum(axis=1), 2.0)
+
+    def test_nan_rejected(self):
+        schema = FeatureSchema.all_real(2)
+        with pytest.raises(DataError, match="impute"):
+            OneHotEncoder(schema).transform(np.array([[np.nan, 1.0]]))
+
+    def test_invalid_codes_rejected(self):
+        schema = FeatureSchema.all_categorical(1, arity=2)
+        with pytest.raises(Exception):
+            OneHotEncoder(schema).transform(np.array([[5.0]]))
+
+    def test_aggregate_roundtrip(self):
+        enc = OneHotEncoder(_fig2_schema())
+        v = np.arange(11, dtype=float)
+        agg = enc.aggregate_to_features(v)
+        assert agg.shape == (6,)
+        np.testing.assert_allclose(agg[:4], [0, 1, 2, 3])
+        assert agg[4] == 4 + 5 + 6
+        assert agg[5] == 7 + 8 + 9 + 10
+
+    def test_aggregate_wrong_length(self):
+        with pytest.raises(DataError):
+            OneHotEncoder(_fig2_schema()).aggregate_to_features(np.zeros(5))
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 20), arity=st.integers(2, 5))
+    def test_onehot_is_injective(self, n, arity):
+        """Distinct codes map to distinct encodings (and back)."""
+        schema = FeatureSchema.all_categorical(1, arity=arity)
+        enc = OneHotEncoder(schema)
+        gen = np.random.default_rng(n)
+        codes = gen.integers(0, arity, size=(n, 1)).astype(float)
+        out = enc.transform(codes)
+        decoded = out.argmax(axis=1)
+        np.testing.assert_array_equal(decoded, codes[:, 0])

@@ -1,0 +1,58 @@
+"""Meta-tests on the benchmark suite itself (structure, not execution)."""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+class TestBenchSuiteStructure:
+    def test_every_paper_artifact_has_a_bench(self):
+        names = {p.stem for p in BENCH_FILES}
+        for required in (
+            "bench_table1_datasets",
+            "bench_table2_full_frac",
+            "bench_table3_filter_jl_entropy",
+            "bench_table4_diverse",
+            "bench_table5_schizophrenia",
+            "bench_fig1_structure",
+            "bench_fig2_preprojection",
+            "bench_fig3_jl_dimension_sweep",
+        ):
+            assert required in names, f"missing bench for {required}"
+
+    @pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+    def test_bench_file_shape(self, path):
+        """Each bench: module docstring, exactly one bench_* function that
+        takes the benchmark fixture and emits an artifact."""
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path.name} has no docstring"
+        bench_funcs = [
+            node for node in tree.body
+            if isinstance(node, ast.FunctionDef) and node.name.startswith("bench_")
+        ]
+        assert len(bench_funcs) == 1, f"{path.name} must define exactly one bench"
+        args = {a.arg for a in bench_funcs[0].args.args}
+        assert {"benchmark", "settings", "results_dir"} <= args
+        source = path.read_text(encoding="utf-8")
+        assert "benchmark.pedantic" in source
+        assert re.search(r"emit\(results_dir,", source), f"{path.name} never emits"
+
+    @pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+    def test_bench_imports_resolve(self, path):
+        """Every repro import a bench makes must exist (catches drift
+        between the harness and the library without running the bench)."""
+        import importlib
+
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )

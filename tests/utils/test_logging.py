@@ -1,0 +1,37 @@
+"""Tests for the logging layer."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespace(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core.frac").name == "repro.core.frac"
+
+    def test_null_handler_installed(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestEnableConsoleLogging:
+    def test_attach_and_detach(self):
+        handler = enable_console_logging(logging.DEBUG)
+        root = logging.getLogger("repro")
+        try:
+            assert handler in root.handlers
+            assert root.level == logging.DEBUG
+        finally:
+            root.removeHandler(handler)
+
+
+class TestFRaCLogs:
+    def test_fit_emits_progress_records(self, caplog, expression_replicate, fast_config):
+        from repro import FRaC
+
+        rep = expression_replicate
+        with caplog.at_level(logging.INFO, logger="repro"):
+            FRaC(fast_config, rng=0).fit(rep.x_train, rep.schema)
+        messages = " | ".join(r.message for r in caplog.records)
+        assert "fitting" in messages and "fit complete" in messages

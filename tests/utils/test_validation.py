@@ -1,0 +1,91 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import DataError, NotFittedError
+from repro.utils.validation import (
+    check_2d,
+    check_consistent_length,
+    check_feature_index,
+    check_fitted,
+    check_probability,
+)
+
+
+class TestCheck2D:
+    def test_accepts_matrix(self):
+        out = check_2d([[1, 2], [3, 4]])
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError, match="2-D"):
+            check_2d(np.zeros(3))
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataError):
+            check_2d(np.zeros((2, 2, 2)))
+
+    def test_nan_policy(self):
+        x = np.array([[np.nan, 1.0]])
+        check_2d(x)  # allowed by default
+        with pytest.raises(DataError, match="NaN"):
+            check_2d(x, allow_nan=False)
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataError, match="infinite"):
+            check_2d(np.array([[np.inf, 0.0]]))
+
+
+class TestConsistentLength:
+    def test_consistent(self):
+        assert check_consistent_length(np.zeros((3, 2)), np.zeros(3)) == 3
+
+    def test_inconsistent(self):
+        with pytest.raises(DataError):
+            check_consistent_length(np.zeros(3), np.zeros(4))
+
+    def test_empty_args(self):
+        assert check_consistent_length() == 0
+
+    def test_none_ignored(self):
+        assert check_consistent_length(np.zeros(2), None) == 2
+
+
+class TestFeatureIndex:
+    def test_valid(self):
+        assert check_feature_index(3, 5) == 3
+
+    @pytest.mark.parametrize("idx", [-1, 5, 100])
+    def test_invalid(self, idx):
+        with pytest.raises(DataError):
+            check_feature_index(idx, 5)
+
+
+class TestCheckFitted:
+    def test_unfitted(self):
+        class M:
+            coef_ = None
+
+        with pytest.raises(NotFittedError):
+            check_fitted(M(), "coef_")
+
+    def test_fitted(self):
+        class M:
+            coef_ = np.ones(2)
+
+        check_fitted(M(), "coef_")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("p", [0.01, 0.5, 1.0])
+    def test_valid(self, p):
+        assert check_probability(p) == p
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_invalid(self, p):
+        with pytest.raises(DataError):
+            check_probability(p)
+
+    def test_inclusive_low(self):
+        assert check_probability(0.0, inclusive_low=True) == 0.0
