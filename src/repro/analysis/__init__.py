@@ -1,0 +1,43 @@
+"""``fraclint`` — the repo's self-hosted static-analysis gate.
+
+An AST-based lint framework enforcing the determinism, RNG-discipline,
+and numerical-safety invariants that the FRaC reproduction's correctness
+rests on (DESIGN.md §6, docs/invariants.md). Run it over the tree with::
+
+    python -m repro.analysis src/ tests/
+
+Programmatic use::
+
+    from repro.analysis import analyze_paths
+    violations, n_files = analyze_paths(["src"])
+
+Rules are pluggable: subclass :class:`~repro.analysis.framework.Checker`
+and decorate with :func:`~repro.analysis.framework.register`.
+"""
+
+from repro.analysis.framework import (
+    Checker,
+    FileContext,
+    Violation,
+    all_checkers,
+    analyze_file,
+    analyze_paths,
+    get_checker,
+    iter_python_files,
+    register,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Violation",
+    "all_checkers",
+    "analyze_file",
+    "analyze_paths",
+    "get_checker",
+    "iter_python_files",
+    "register",
+    "render_json",
+    "render_text",
+]

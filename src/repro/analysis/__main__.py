@@ -1,0 +1,93 @@
+"""``python -m repro.analysis`` — run fraclint from the command line.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage
+errors. The CI gate runs ``python -m repro.analysis src/ tests/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import all_checkers, analyze_paths
+from repro.analysis.reporters import RENDERERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "fraclint: enforce the FRaC reproduction's determinism, RNG, "
+            "and numerical-safety invariants (see docs/invariants.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_rules(spec: "str | None") -> "set[str]":
+    if not spec:
+        return set()
+    return {rule.strip().upper() for rule in spec.split(",") if rule.strip()}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    checkers = all_checkers()
+    if args.list_rules:
+        for checker in checkers:
+            scope = "library" if checker.library_only else "everywhere"
+            print(f"{checker.rule}  {checker.name:<22} [{scope}] {checker.description}")
+        return 0
+
+    known = {c.rule for c in checkers}
+    selected = _split_rules(args.select)
+    disabled = _split_rules(args.disable)
+    for rule in (selected | disabled) - known:
+        parser.error(f"unknown rule id {rule!r}; known: {', '.join(sorted(known))}")
+    if selected:
+        checkers = [c for c in checkers if c.rule in selected]
+    if disabled:
+        checkers = [c for c in checkers if c.rule not in disabled]
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(map(str, missing))}")
+
+    violations, n_files = analyze_paths(paths, checkers=checkers)
+    print(RENDERERS[args.format](violations, n_files))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

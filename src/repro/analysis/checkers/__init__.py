@@ -1,0 +1,24 @@
+"""Built-in fraclint checkers.
+
+Importing this package registers every rule with the framework registry
+(side effect of the ``@register`` decorators). Rule catalogue:
+
+========  ===================  =====================================================
+Rule      Name                 Invariant
+========  ===================  =====================================================
+FRL001    legacy-rng           no global-state numpy/stdlib randomness in library code
+FRL002    shared-stream        one Generator must not feed multiple parallel work items
+FRL003    unguarded-log        ``log(x)`` only where ``x`` is provably positive or audited
+FRL004    learner-contract     BaseLearner subclasses validate inputs, reset, register
+FRL005    errormodel-contract  ErrorModels implement guarded, finite ``surprisal``
+FRL006    mutable-default      no mutable default arguments
+FRL007    wall-clock           wall-clock reads confined to the profiling module
+FRL008    bare-assert          no ``assert`` statements in library code
+========  ===================  =====================================================
+
+See docs/invariants.md for rationale and suppression policy.
+"""
+
+from repro.analysis.checkers import contracts, hygiene, numerics, rng
+
+__all__ = ["rng", "numerics", "contracts", "hygiene"]

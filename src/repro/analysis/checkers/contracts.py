@@ -1,0 +1,222 @@
+"""Interface-contract checkers (FRL004, FRL005).
+
+The FRaC engine treats learners and error models as black boxes, which
+makes their *implicit* obligations easy to violate silently:
+
+- a learner that skips ``_validate_xy`` accepts NaN/ragged input and fails
+  deep inside numpy (or worse, produces garbage scores);
+- a learner that does not override ``_reset`` leaks fitted state through
+  ``clone()`` into other (feature, fold) work items;
+- a learner missing from the registry cannot be named in serialized
+  experiment configs, so studies silently fall back to defaults;
+- an error model without a guarded ``surprisal`` can be scored unfitted,
+  returning whatever stale arrays it holds.
+
+These checkers turn the contracts from prose (learners/base.py docstrings,
+DESIGN.md §6) into machine-checked requirements.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.framework import Checker, FileContext, Violation, register
+
+_LEARNER_ROOTS = {"Regressor", "Classifier", "BaseLearner"}
+_ERROR_MODEL_ROOTS = {"ErrorModel"}
+
+
+def _base_names(node: ast.ClassDef) -> "set[str]":
+    names: set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _class_map(tree: ast.Module) -> "dict[str, ast.ClassDef]":
+    return {n.name: n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)}
+
+
+def _derives_from(
+    cls: ast.ClassDef, roots: "set[str]", classes: "dict[str, ast.ClassDef]"
+) -> bool:
+    """Transitive subclass test within one file (plus direct root names)."""
+    seen: set[str] = set()
+    stack = [cls]
+    while stack:
+        node = stack.pop()
+        if node.name in seen:
+            continue
+        seen.add(node.name)
+        for base in _base_names(node):
+            if base in roots:
+                return True
+            if base in classes:
+                stack.append(classes[base])
+    return False
+
+
+def _find_method(
+    cls: ast.ClassDef, name: str, classes: "dict[str, ast.ClassDef]"
+) -> "ast.FunctionDef | None":
+    """Resolve ``name`` through the in-file ancestry (nearest definition)."""
+    seen: set[str] = set()
+    stack = [cls]
+    while stack:
+        node = stack.pop(0)
+        if node.name in seen:
+            continue
+        seen.add(node.name)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) and item.name == name:
+                return item
+        stack.extend(classes[b] for b in _base_names(node) if b in classes)
+    return None
+
+
+def _is_abstract(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        name = deco.attr if isinstance(deco, ast.Attribute) else (
+            deco.id if isinstance(deco, ast.Name) else None
+        )
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    return False
+
+
+def _calls_name(func: ast.FunctionDef, target: str) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            tail = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if tail == target:
+                return True
+    return False
+
+
+@register
+class LearnerContractChecker(Checker):
+    """FRL004: concrete learners validate, reset, and register."""
+
+    rule = "FRL004"
+    name = "learner-contract"
+    description = (
+        "Every concrete BaseLearner subclass must call _validate_xy in "
+        "fit, override _reset (clone() hygiene), and be registered in "
+        "repro.learners.registry."
+    )
+    library_only = True
+
+    def __init__(self) -> None:
+        self._registry_cache: dict[Path, "set[str] | None"] = {}
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        classes = _class_map(ctx.tree)
+        registered = self._registered_names(ctx.path.parent / "registry.py")
+        for cls in classes.values():
+            if cls.name.startswith("_"):
+                continue  # private helpers / shared bases are not public learners
+            if not _derives_from(cls, _LEARNER_ROOTS, classes):
+                continue
+            if cls.name in _LEARNER_ROOTS:
+                continue
+            fit = _find_method(cls, "fit", classes)
+            if fit is None or _is_abstract(fit):
+                continue  # still abstract — contract applies to concrete classes
+            if not _calls_name(fit, "_validate_xy"):
+                yield ctx.violation(
+                    self.rule,
+                    fit,
+                    f"{cls.name}.fit does not call _validate_xy; unvalidated "
+                    f"input (NaN, ragged shapes) reaches model math",
+                )
+            reset = _find_method(cls, "_reset", classes)
+            if reset is None:
+                yield ctx.violation(
+                    self.rule,
+                    cls,
+                    f"{cls.name} does not override _reset; clone() would leak "
+                    f"fitted state across (feature, fold) work items",
+                )
+            if registered is not None and cls.name not in registered:
+                yield ctx.violation(
+                    self.rule,
+                    cls,
+                    f"{cls.name} is not registered in learners/registry.py; "
+                    f"serialized experiment configs cannot name it",
+                )
+
+    def _registered_names(self, registry_path: Path) -> "set[str] | None":
+        """Class names referenced in the sibling registry, or ``None`` when
+        no registry exists (e.g. fixture trees) — skipping that sub-check."""
+        if registry_path not in self._registry_cache:
+            if not registry_path.is_file():
+                self._registry_cache[registry_path] = None
+            else:
+                tree = ast.parse(registry_path.read_text(encoding="utf-8"))
+                names: set[str] = set()
+                for node in ast.walk(tree):
+                    if isinstance(node, ast.Dict):
+                        for value in node.values:
+                            if isinstance(value, ast.Name):
+                                names.add(value.id)
+                            elif isinstance(value, ast.Attribute):
+                                names.add(value.attr)
+                self._registry_cache[registry_path] = names
+        return self._registry_cache[registry_path]
+
+
+@register
+class ErrorModelContractChecker(Checker):
+    """FRL005: error models implement a guarded ``surprisal``."""
+
+    rule = "FRL005"
+    name = "errormodel-contract"
+    description = (
+        "Every concrete ErrorModel must implement fit and surprisal, and "
+        "surprisal must guard fitted state (check_fitted) so it can only "
+        "return finite values computed from a fitted model."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        classes = _class_map(ctx.tree)
+        for cls in classes.values():
+            if cls.name.startswith("_") or cls.name in _ERROR_MODEL_ROOTS:
+                continue
+            if not _derives_from(cls, _ERROR_MODEL_ROOTS, classes):
+                continue
+            fit = _find_method(cls, "fit", classes)
+            surprisal = _find_method(cls, "surprisal", classes)
+            concrete = not (
+                (fit is None or _is_abstract(fit))
+                and (surprisal is None or _is_abstract(surprisal))
+            )
+            if not concrete:
+                continue
+            if fit is None or _is_abstract(fit):
+                yield ctx.violation(
+                    self.rule, cls, f"{cls.name} does not implement fit()"
+                )
+            if surprisal is None or _is_abstract(surprisal):
+                yield ctx.violation(
+                    self.rule,
+                    cls,
+                    f"{cls.name} does not implement surprisal(); the NS sum "
+                    f"needs -ln P(truth | prediction) per element",
+                )
+            elif not _calls_name(surprisal, "check_fitted"):
+                yield ctx.violation(
+                    self.rule,
+                    surprisal,
+                    f"{cls.name}.surprisal does not call check_fitted; an "
+                    f"unfitted model could emit non-finite or stale "
+                    f"surprisals instead of raising NotFittedError",
+                )

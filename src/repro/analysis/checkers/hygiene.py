@@ -1,0 +1,152 @@
+"""General-hygiene checkers (FRL006, FRL007, FRL008).
+
+Three classic Python footguns that are especially costly in this codebase:
+mutable defaults alias state across the thousands of per-feature work
+items the engine creates; wall-clock reads make results and resource
+accounting machine-dependent (DESIGN.md §7 mandates the analytic memory
+model and ``process_time`` fractions, confined to the profiling module);
+and ``assert`` statements vanish under ``python -O``, so library
+invariants guarded by them are not guarded at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Checker, FileContext, Violation, register
+
+_MUTABLE_CALL_NAMES = {
+    "dict",
+    "list",
+    "set",
+    "bytearray",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.deque",
+    "collections.Counter",
+    "numpy.array",
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+}
+
+#: Wall-clock and scheduler-dependent time sources. ``perf_counter`` /
+#: ``process_time`` are legitimate *measurement* tools but still
+#: nondeterministic, so they are confined to the profiling module too.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: The single file allowed to read clocks. Everything else (including the
+#: resource meter) routes through ``repro.parallel.profiling.cpu_seconds``.
+_CLOCK_ALLOWED_SUFFIXES = ("repro/parallel/profiling.py",)
+
+
+@register
+class MutableDefaultChecker(Checker):
+    """FRL006: no mutable default arguments."""
+
+    rule = "FRL006"
+    name = "mutable-default"
+    description = (
+        "A mutable default ([], {}, np.array(...)) is created once and "
+        "shared by every call — state leaks across the engine's per-feature "
+        "work items; default to None and construct inside the function."
+    )
+    library_only = False  # just as wrong in tests and benchmarks
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(ctx, default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield ctx.violation(
+                        self.rule,
+                        default,
+                        f"mutable default argument in {label}() "
+                        f"({ast.unparse(default)}); use None and build the "
+                        f"value inside the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(ctx: FileContext, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            return resolved in _MUTABLE_CALL_NAMES
+        return False
+
+
+@register
+class WallClockChecker(Checker):
+    """FRL007: clock reads confined to the profiling layer."""
+
+    rule = "FRL007"
+    name = "wall-clock"
+    description = (
+        "time.time()/datetime.now()/perf_counter() make outputs depend on "
+        "the machine and scheduling; clocks belong in "
+        "repro.parallel.profiling (and the resource-measurement layer) "
+        "only."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        posix = ctx.path.as_posix()
+        if any(posix.endswith(suffix) for suffix in _CLOCK_ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _CLOCK_CALLS:
+                yield ctx.violation(
+                    self.rule,
+                    node,
+                    f"clock read {resolved}() outside the profiling layer; "
+                    f"results must not depend on wall time (DESIGN.md §6-§7)",
+                )
+
+
+@register
+class BareAssertChecker(Checker):
+    """FRL008: no ``assert`` in library code."""
+
+    rule = "FRL008"
+    name = "bare-assert"
+    description = (
+        "assert statements are stripped under 'python -O', silently "
+        "removing the check; raise a repro.utils.exceptions error "
+        "(DataError, FitError, ...) instead."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield ctx.violation(
+                    self.rule,
+                    node,
+                    "bare assert in library code vanishes under -O; raise "
+                    "DataError/FitError/ReproError with a message instead",
+                )

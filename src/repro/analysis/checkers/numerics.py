@@ -1,0 +1,222 @@
+"""Numerical-safety checker (FRL003).
+
+The NS score is a giant sum of surprisals ``-log P(...)``; a single
+``log(0) = -inf`` or ``log(negative) = nan`` silently corrupts every
+downstream ranking (the anomaly score of the whole sample, the AUC, the
+feature attribution). The library's defence is structural: probabilities
+are smoothed (confusion matrices), scales are floored (Gaussian sigma,
+KDE bandwidth), and counts are offset — so every ``log`` argument is
+positive *by construction*. This checker enforces that the construction is
+visible: ``log(x)`` is allowed only when ``x`` is provably positive from
+the expression itself, or when the site carries an audited
+``# fraclint: disable=FRL003`` comment stating *why* the argument is
+positive (the allowlist lives in the code, next to the proof obligation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Checker, FileContext, Violation, register
+
+_LOG_FUNCTIONS = {
+    "numpy.log",
+    "numpy.log2",
+    "numpy.log10",
+    "math.log",
+    "math.log2",
+    "math.log10",
+}
+
+_POSITIVE_CONSTANTS = {"numpy.pi", "numpy.e", "math.pi", "math.e", "math.tau"}
+
+#: Calls that return strictly positive values whatever their input.
+_POSITIVE_CALLS = {"numpy.exp", "math.exp"}
+
+
+def _const_value(node: ast.AST) -> "float | None":
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_value(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _module_constants(tree: ast.Module) -> "dict[str, float]":
+    """Module-level ``NAME = <numeric literal>`` bindings (floor idiom).
+
+    Only names assigned exactly once at module scope count — a rebinding
+    anywhere in the module disqualifies the name, keeping the proof sound.
+    """
+    values: dict[str, float] = {}
+    rebound: set[str] = set()
+    for node in tree.body:
+        targets: list = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = _const_value(node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = _const_value(node.value)
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in values or target.id in rebound:
+                    rebound.add(target.id)
+                    values.pop(target.id, None)
+                elif value is not None:
+                    values[target.id] = value
+    # Any assignment to the name inside functions/classes also disqualifies.
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    for target in getattr(sub, "targets", [getattr(sub, "target", None)]):
+                        if isinstance(target, ast.Name):
+                            values.pop(target.id, None)
+    return values
+
+
+class _PositivityProver:
+    """Conservative syntactic proof that an expression is ``> 0``.
+
+    Sound-by-construction rules only — when in doubt, return False and let
+    the author either restructure the expression (preferred) or add an
+    audited suppression. Supported derivations:
+
+    - positive literals and ``pi``/``e`` constants;
+    - ``exp(x)``;
+    - products, quotients, and powers of positives; sums where one term is
+      positive and the rest provably non-negative;
+    - ``max(..., c)`` / ``np.maximum(x, c)`` / ``np.clip(x, c, ...)`` with a
+      positive ``c`` (the floor idiom used for sigma and bandwidth);
+    - ``<positive>.sum(...)`` and ``<positive>.mean(...)`` method calls
+      (reductions of elementwise-positive arrays; note an empty-axis sum is
+      0.0 — acceptable because the library validates non-emptiness before
+      reduction, and the pattern only arises post-``exp``);
+    - the guarded-select idiom ``np.where(x > 0, x, c)`` with positive ``c``.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self._module_constants = _module_constants(ctx.tree)
+
+    def positive(self, node: ast.AST) -> bool:
+        value = _const_value(node)
+        if value is not None:
+            return value > 0
+        if isinstance(node, ast.Name) and node.id in self._module_constants:
+            return self._module_constants[node.id] > 0
+        resolved = self.ctx.resolve(node)
+        if resolved in _POSITIVE_CONSTANTS:
+            return True
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.UAdd):
+            return self.positive(node.operand)
+        if isinstance(node, ast.BinOp):
+            left, right = node.left, node.right
+            if isinstance(node.op, (ast.Mult, ast.Div)):
+                return self.positive(left) and self.positive(right)
+            if isinstance(node.op, ast.Add):
+                return (self.positive(left) and self.nonnegative(right)) or (
+                    self.nonnegative(left) and self.positive(right)
+                )
+            if isinstance(node.op, ast.Pow):
+                return self.positive(left)
+        if isinstance(node, ast.Call):
+            return self._positive_call(node)
+        return False
+
+    def nonnegative(self, node: ast.AST) -> bool:
+        if self.positive(node):
+            return True
+        value = _const_value(node)
+        if value is not None:
+            return value >= 0
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+            exponent = _const_value(node.right)
+            if exponent is not None and exponent == int(exponent) and int(exponent) % 2 == 0:
+                return True
+        if isinstance(node, ast.Call):
+            resolved = self.ctx.resolve(node.func)
+            if resolved in ("abs", "numpy.abs", "numpy.absolute", "numpy.square", "math.fabs"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("sum", "mean")
+                and self.nonnegative(node.func.value)
+            ):
+                return True
+        return False
+
+    def _positive_call(self, node: ast.Call) -> bool:
+        resolved = self.ctx.resolve(node.func)
+        if resolved in _POSITIVE_CALLS:
+            return True
+        if resolved in ("max", "numpy.maximum", "numpy.fmax"):
+            return any(self.positive(arg) for arg in node.args)
+        if resolved == "numpy.clip" and len(node.args) >= 2:
+            return self.positive(node.args[1])  # a_min
+        if resolved == "numpy.where" and len(node.args) == 3:
+            return self._guarded_where(node)
+        # Reductions of positive arrays: np.exp(z).sum(axis=1) etc.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("sum", "mean")
+            and self.positive(node.func.value)
+        ):
+            return True
+        return False
+
+    def _guarded_where(self, node: ast.Call) -> bool:
+        """``np.where(x > 0, x, c)``: both branches positive under select."""
+        cond, then, other = node.args
+        if not self.positive(other):
+            return False
+        if (
+            isinstance(cond, ast.Compare)
+            and len(cond.ops) == 1
+            and isinstance(cond.ops[0], ast.Gt)
+            and len(cond.comparators) == 1
+        ):
+            threshold = _const_value(cond.comparators[0])
+            if threshold is not None and threshold >= 0:
+                return ast.dump(cond.left) == ast.dump(then)
+        return False
+
+
+@register
+class UnguardedLogChecker(Checker):
+    """FRL003: every ``log`` argument must be provably positive or audited."""
+
+    rule = "FRL003"
+    name = "unguarded-log"
+    description = (
+        "log(x) with an x that is not provably positive can silently emit "
+        "-inf/nan into surprisal sums; smooth counts, floor scales, or add "
+        "an audited '# fraclint: disable=FRL003' with the positivity "
+        "argument."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        prover = _PositivityProver(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved not in _LOG_FUNCTIONS or not node.args:
+                continue
+            argument = node.args[0]
+            if prover.positive(argument):
+                continue
+            yield ctx.violation(
+                self.rule,
+                node,
+                f"argument of {resolved}() is not provably positive "
+                f"({ast.unparse(argument)!s}); -log(0)/nan would corrupt "
+                f"surprisal sums silently — smooth/floor the value or "
+                f"audit the site",
+            )

@@ -1,0 +1,244 @@
+"""Randomness-discipline checkers (FRL001, FRL002).
+
+DESIGN.md §6 requires bit-identical results under serial, threaded, and
+multi-process execution. That only holds when every stochastic component
+draws from an explicit :class:`numpy.random.Generator` seeded through
+:func:`repro.utils.rng.spawn_seeds` — never from process-global state, and
+never by sharing one generator's stream across parallel work items (the
+order in which workers advance a shared stream is nondeterministic).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Checker, FileContext, Violation, register
+
+#: ``numpy.random`` attributes that are *constructors of explicit state*
+#: and therefore allowed; everything else on the module is legacy
+#: global-state API (``seed``, ``rand``, ``choice``, ``shuffle``, ...).
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+#: Factories whose return value is a Generator, for FRL002's data flow.
+_GENERATOR_FACTORIES = {
+    "numpy.random.default_rng",
+    "repro.utils.rng.as_generator",
+}
+
+
+@register
+class LegacyRngChecker(Checker):
+    """FRL001: forbid global-state randomness in library code."""
+
+    rule = "FRL001"
+    name = "legacy-rng"
+    description = (
+        "Library code must not use numpy's legacy global-state RNG "
+        "(np.random.seed/rand/choice/...) or the stdlib random module; "
+        "route all randomness through repro.utils.rng (RngLike seeds, "
+        "as_generator, spawn_seeds)."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.violation(
+                            self.rule,
+                            node,
+                            "stdlib 'random' is process-global state; use "
+                            "repro.utils.rng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield ctx.violation(
+                        self.rule,
+                        node,
+                        "stdlib 'random' is process-global state; use "
+                        "repro.utils.rng instead",
+                    )
+                elif node.level == 0 and node.module in ("numpy", "numpy.random"):
+                    for alias in node.names:
+                        full = f"{node.module}.{alias.name}"
+                        if full.startswith("numpy.random") and (
+                            alias.name not in _ALLOWED_NP_RANDOM
+                            and alias.name != "random"
+                        ):
+                            yield ctx.violation(
+                                self.rule,
+                                node,
+                                f"importing legacy global-state API "
+                                f"'{full}'; seed explicit Generators via "
+                                f"repro.utils.rng",
+                            )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                resolved = ctx.resolve(node)
+                if resolved is None:
+                    continue
+                if (
+                    resolved.startswith("numpy.random.")
+                    and resolved.split(".")[2] not in _ALLOWED_NP_RANDOM
+                ):
+                    # Only flag the outermost attribute: np.random.seed, not
+                    # the nested np.random lookup inside it.
+                    yield ctx.violation(
+                        self.rule,
+                        node,
+                        f"legacy global-state call '{resolved}' breaks the "
+                        f"determinism contract (DESIGN.md §6); use an "
+                        f"explicit Generator from repro.utils.rng",
+                    )
+                elif resolved.startswith("random.") and ctx.aliases.get("random") == "random":
+                    yield ctx.violation(
+                        self.rule,
+                        node,
+                        f"stdlib global-state call '{resolved}'; use "
+                        f"repro.utils.rng",
+                    )
+
+
+def _generator_names(scope: ast.AST) -> "set[str]":
+    """Names in ``scope`` bound to a Generator (heuristic data flow)."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            func = node.value.func
+            tail = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if tail in ("default_rng", "as_generator"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            note = ast.unparse(node.annotation)
+            if "Generator" in note:
+                names.add(node.arg)
+    return names
+
+
+def _comprehension_bound_names(node: ast.AST) -> "set[str]":
+    bound: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.comprehension):
+            for target in ast.walk(sub.target):
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+@register
+class SharedStreamChecker(Checker):
+    """FRL002: one Generator must not be fanned out to parallel tasks."""
+
+    rule = "FRL002"
+    name = "shared-stream"
+    description = (
+        "Passing a single numpy Generator into multiple run_tasks work "
+        "items makes results depend on worker scheduling; derive per-item "
+        "child seeds with repro.utils.rng.spawn_seeds instead."
+    )
+    library_only = True
+
+    #: Callables treated as parallel fan-out points. ``run_tasks`` is the
+    #: repo's one blessed entry (repro.parallel.executor); pool ``map``/
+    #: ``submit`` cover hand-rolled executors.
+    _FAN_OUT_TAILS = ("run_tasks",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        scopes = [ctx.tree] + [
+            n
+            for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        seen: set[int] = set()
+        for scope in scopes:
+            gen_names = _generator_names(scope)
+            if not gen_names:
+                continue
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                tail = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None
+                )
+                if tail not in self._FAN_OUT_TAILS or id(node) in seen:
+                    continue
+                offender = self._shared_generator(node, gen_names)
+                if offender is not None:
+                    seen.add(id(node))
+                    yield ctx.violation(
+                        self.rule,
+                        node,
+                        f"generator '{offender}' is shared across parallel "
+                        f"work items; spawn independent child seeds with "
+                        f"repro.utils.rng.spawn_seeds (DESIGN.md §6)",
+                    )
+
+    @staticmethod
+    def _shared_generator(call: ast.Call, gen_names: "set[str]") -> "str | None":
+        """Does ``call`` replicate one generator into its items or fn?"""
+        args = list(call.args)
+        items_arg = args[1] if len(args) > 1 else None
+        for kw in call.keywords:
+            if kw.arg == "items":
+                items_arg = kw.value
+        fn_arg = args[0] if args else None
+
+        if items_arg is not None:
+            # Comprehension whose element references an *outer* generator:
+            # run_tasks(fn, [(gen, item) for item in items])
+            for sub in ast.walk(items_arg):
+                if isinstance(sub, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+                    bound = _comprehension_bound_names(sub)
+                    for name_node in ast.walk(sub.elt):
+                        if (
+                            isinstance(name_node, ast.Name)
+                            and name_node.id in gen_names
+                            and name_node.id not in bound
+                        ):
+                            return name_node.id
+                # Replication: [gen] * n  /  (gen,) * n
+                if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mult):
+                    for side in (sub.left, sub.right):
+                        for name_node in ast.walk(side):
+                            if (
+                                isinstance(name_node, ast.Name)
+                                and name_node.id in gen_names
+                            ):
+                                return name_node.id
+                # itertools.repeat(gen, ...)
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "repeat"
+                ):
+                    for name_node in ast.walk(sub):
+                        if isinstance(name_node, ast.Name) and name_node.id in gen_names:
+                            return name_node.id
+
+        # A lambda work function closing over an outer generator shares the
+        # stream across every item it is called with.
+        if isinstance(fn_arg, ast.Lambda):
+            lambda_params = {a.arg for a in fn_arg.args.args}
+            for name_node in ast.walk(fn_arg.body):
+                if (
+                    isinstance(name_node, ast.Name)
+                    and name_node.id in gen_names
+                    and name_node.id not in lambda_params
+                ):
+                    return name_node.id
+        return None

@@ -1,0 +1,326 @@
+"""Core machinery of ``fraclint``, the repo's self-hosted static analyzer.
+
+The FRaC reproduction's correctness rests on invariants that no general
+linter knows about: all randomness must flow through the SeedSequence
+plumbing of :mod:`repro.utils.rng` (DESIGN.md §6), surprisal math must
+never evaluate ``log`` of a value that could be zero or negative, learners
+must honour the :class:`~repro.learners.base.BaseLearner` contract, and so
+on. This module provides the pieces every checker shares:
+
+- :class:`Violation` — one finding, formatted ``path:line:col: RULE msg``;
+- :class:`FileContext` — a parsed file plus suppression-comment data and
+  import-alias resolution;
+- :class:`Checker` — the checker ABC, and a :func:`register` decorator
+  feeding the global rule registry;
+- :func:`analyze_file` / :func:`analyze_paths` — drivers used by both the
+  CLI (``python -m repro.analysis``) and the test suite.
+
+Suppressions
+------------
+A violation on line ``L`` is silenced by a ``# fraclint: disable=RULE``
+comment on line ``L`` (comma-separate several rules, or use ``all``).
+A ``# fraclint: disable-file=RULE`` comment anywhere silences the rule for
+the whole file. Suppressions are meant for *audited* sites and should carry
+a justification in the surrounding comment (see docs/invariants.md).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Checker",
+    "register",
+    "all_checkers",
+    "get_checker",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*fraclint:\s*(?P<scope>disable|disable-file)\s*=\s*(?P<rules>[A-Za-z0-9_,\s*]+)"
+)
+
+#: Rule id reserved for files that cannot be parsed at all.
+PARSE_ERROR_RULE = "FRL000"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule violated at a location, with a human message."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def _parse_suppressions(source: str) -> "tuple[dict[int, set[str]], set[str]]":
+    """Extract per-line and per-file suppression comments.
+
+    Returns ``(line -> rules, file_rules)``; the token stream (not a regex
+    over raw lines) is used so that ``#`` inside string literals cannot be
+    mistaken for a comment.
+    """
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = {
+                r.strip().upper().replace("ALL", "*")
+                for r in match.group("rules").split(",")
+                if r.strip()
+            }
+            if match.group("scope") == "disable-file":
+                per_file |= rules
+            else:
+                per_line.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # unterminated constructs surface as FRL000 via ast.parse
+    return per_line, per_file
+
+
+def _infer_is_library(path: Path) -> bool:
+    """Library code gets the strict rules; tests and fixtures do not."""
+    parts = {p.lower() for p in path.parts}
+    if parts & {"tests", "test", "examples", "benchmarks", "fixtures"}:
+        return False
+    name = path.name
+    return not (name.startswith("test_") or name == "conftest.py")
+
+
+@dataclass
+class FileContext:
+    """A parsed source file plus everything checkers need to inspect it."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    is_library: bool
+    line_suppressions: dict = field(default_factory=dict)
+    file_suppressions: set = field(default_factory=set)
+    #: import alias -> fully dotted module/object path (e.g. ``np`` ->
+    #: ``numpy``, ``npr`` -> ``numpy.random``, ``log`` -> ``math.log``).
+    aliases: dict = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, *, force_library: "bool | None" = None) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        per_line, per_file = _parse_suppressions(source)
+        ctx = cls(
+            path=path,
+            source=source,
+            tree=tree,
+            is_library=_infer_is_library(path) if force_library is None else force_library,
+            line_suppressions=per_line,
+            file_suppressions=per_file,
+        )
+        ctx.aliases = _collect_aliases(tree)
+        return ctx
+
+    @property
+    def display_path(self) -> str:
+        try:
+            return self.path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return self.path.as_posix()
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if {"*", rule} & self.file_suppressions:
+            return True
+        at_line = self.line_suppressions.get(line, set())
+        return bool({"*", rule} & at_line)
+
+    def resolve(self, node: ast.AST) -> "str | None":
+        """Fully dotted name of an expression, unfolding import aliases.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` when the file
+        did ``import numpy as np``; returns ``None`` for non-name shapes
+        (subscripts, calls, literals).
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        head = self.aliases.get(cur.id, cur.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def _collect_aliases(tree: ast.Module) -> dict:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # ``import numpy.random`` binds ``numpy``; record the
+                    # full path too so ``numpy.random.X`` resolves as-is.
+                    aliases[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+class Checker(ABC):
+    """One rule. Subclasses are registered via :func:`register`."""
+
+    #: Stable rule id, e.g. ``"FRL001"``. Unique across the registry.
+    rule: str = ""
+    #: Short kebab-case name used in docs and ``--list-rules``.
+    name: str = ""
+    #: One-line description of the enforced invariant.
+    description: str = ""
+    #: When True the rule only applies to library code (``src/``), not to
+    #: tests/examples/benchmarks. See :func:`_infer_is_library`.
+    library_only: bool = True
+
+    @abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield violations found in ``ctx``."""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_library or not self.library_only
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a :class:`Checker` subclass to the registry."""
+    if not cls.rule or not cls.rule.startswith("FRL"):
+        raise ValueError(f"checker {cls.__name__} must define a FRLxxx rule id")
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def all_checkers() -> "list[Checker]":
+    """Fresh instances of every registered checker, sorted by rule id."""
+    _ensure_builtin_checkers()
+    return [_REGISTRY[rule]() for rule in sorted(_REGISTRY)]
+
+
+def get_checker(rule: str) -> Checker:
+    _ensure_builtin_checkers()
+    return _REGISTRY[rule]()
+
+
+def _ensure_builtin_checkers() -> None:
+    # Import for the side effect of running the @register decorators.
+    from repro.analysis import checkers  # noqa: F401
+
+
+def analyze_file(
+    path: Path,
+    *,
+    checkers: "Sequence[Checker] | None" = None,
+    force_library: "bool | None" = None,
+) -> "list[Violation]":
+    """All (unsuppressed) violations in one file."""
+    path = Path(path)
+    try:
+        ctx = FileContext.parse(path, force_library=force_library)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path.as_posix(),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    active = list(checkers) if checkers is not None else all_checkers()
+    found: list[Violation] = []
+    for checker in active:
+        if not checker.applies_to(ctx):
+            continue
+        for violation in checker.check(ctx):
+            if not ctx.is_suppressed(violation.rule, violation.line):
+                found.append(violation)
+    return sorted(found)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic stream of ``*.py``.
+
+    ``fixtures`` directories are skipped during expansion: they hold
+    *intentionally* violating code for the checker tests. Passing a fixture
+    file explicitly (or via :func:`analyze_file`) still scans it.
+    """
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and "fixtures" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    *,
+    checkers: "Sequence[Checker] | None" = None,
+) -> "tuple[list[Violation], int]":
+    """Run over files and directories; returns ``(violations, n_files)``."""
+    active = list(checkers) if checkers is not None else all_checkers()
+    violations: list[Violation] = []
+    n_files = 0
+    for file_path in iter_python_files(paths):
+        n_files += 1
+        violations.extend(analyze_file(file_path, checkers=active))
+    return sorted(violations), n_files

@@ -1,0 +1,37 @@
+"""Violation reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.framework import Violation
+
+__all__ = ["render_text", "render_json", "RENDERERS"]
+
+
+def render_text(violations: Sequence[Violation], n_files: int) -> str:
+    """``path:line:col: RULE message`` lines plus a one-line summary."""
+    lines = [v.format() for v in violations]
+    n_paths = len({v.path for v in violations})
+    if violations:
+        lines.append("")
+        lines.append(
+            f"fraclint: {len(violations)} violation(s) in {n_paths} file(s) "
+            f"({n_files} scanned)"
+        )
+    else:
+        lines.append(f"fraclint: clean ({n_files} file(s) scanned)")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], n_files: int) -> str:
+    payload = {
+        "violations": [v.to_dict() for v in violations],
+        "count": len(violations),
+        "files_scanned": n_files,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+RENDERERS = {"text": render_text, "json": render_json}

@@ -19,7 +19,6 @@ fork instead of pickling it per item.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +32,7 @@ from repro.errormodels.gaussian import GaussianErrorModel
 from repro.errormodels.kde import GaussianKDE
 from repro.learners.registry import make_learner
 from repro.parallel.executor import get_shared
+from repro.parallel.profiling import cpu_seconds
 from repro.parallel.resources import TaskCost, design_matrix_bytes, training_work_units
 from repro.utils.exceptions import DataError
 
@@ -96,7 +96,7 @@ def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None
     """
     shared: SharedTrainState = get_shared()
     cfg = shared.config
-    start = time.process_time()
+    start = cpu_seconds()
 
     target_col = shared.x_targets[:, task.feature_id]
     rows = np.flatnonzero(~np.isnan(target_col))
@@ -132,7 +132,7 @@ def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None
     predictor = make().fit(x_in, y)
 
     cost = TaskCost(
-        cpu_seconds=time.process_time() - start,
+        cpu_seconds=cpu_seconds() - start,
         design_bytes=design_matrix_bytes(len(rows), max(len(input_ids), 1)),
         model_bytes=int(getattr(predictor, "model_nbytes", 0)) + error_model.model_nbytes,
         work_units=training_work_units(len(folds) + 1, len(rows), len(input_ids)),

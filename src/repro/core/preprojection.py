@@ -11,8 +11,6 @@ argument of §II-D. The price is interpretability, partially recovered by
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.config import FRaCConfig
@@ -20,6 +18,7 @@ from repro.core.frac import FRaC
 from repro.core.imputation import Preprocessor
 from repro.core.types import AnomalyDetector, ContributionMatrix
 from repro.data.schema import FeatureSchema
+from repro.parallel.profiling import cpu_seconds
 from repro.parallel.resources import ResourceReport
 from repro.projection.jl import JLTransform
 from repro.projection.onehot import OneHotEncoder
@@ -63,10 +62,10 @@ class JLFRaC(AnomalyDetector):
         self._projected_schema: "FeatureSchema | None" = None
 
     def _project(self, x: np.ndarray) -> np.ndarray:
-        start = time.process_time()
+        start = cpu_seconds()
         encoded = self._encoder.transform(self._pre.transform(x))
         out = self.projection_.transform(encoded)
-        self._projection_cpu += time.process_time() - start
+        self._projection_cpu += cpu_seconds() - start
         # One matrix multiply: n x d_onehot x k multiply-adds.
         self._projection_work += x.shape[0] * self._encoder.width * self.n_components
         return out

@@ -56,7 +56,9 @@ class ConfusionErrorModel(ErrorModel):
         np.add.at(counts, (pred, true), 1.0)
         self.counts_ = counts
         smoothed = counts + self.smoothing
-        self.log_prob_ = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        # Positive by construction: every cell is counts + smoothing with
+        # smoothing validated > 0 in __init__, so each ratio is in (0, 1].
+        self.log_prob_ = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))  # fraclint: disable=FRL003
         return self
 
     def surprisal(self, predictions: np.ndarray, truths: np.ndarray) -> np.ndarray:

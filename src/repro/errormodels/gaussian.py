@@ -53,7 +53,9 @@ class GaussianErrorModel(ErrorModel):
         predictions = np.asarray(predictions, dtype=np.float64)
         truths = np.asarray(truths, dtype=np.float64)
         z = (truths - predictions - self.mu_) / self.sigma_
-        return 0.5 * z * z + np.log(self.sigma_) + 0.5 * _LOG_2PI
+        # Positive by construction: fit() floors sigma_ at sigma_floor,
+        # which __init__ validates to be > 0.
+        return 0.5 * z * z + np.log(self.sigma_) + 0.5 * _LOG_2PI  # fraclint: disable=FRL003
 
     @property
     def model_nbytes(self) -> int:

@@ -75,7 +75,9 @@ class GaussianKDE:
         log_kernels = -0.5 * z * z
         m = log_kernels.max(axis=1, keepdims=True)
         lse = m[:, 0] + np.log(np.exp(log_kernels - m).sum(axis=1))
-        return lse - np.log(self.samples_.size * h) - 0.5 * _LOG_2PI
+        # Positive by construction: fit() rejects empty samples (size >= 1)
+        # and bandwidth_ is validated > 0 or floored at BANDWIDTH_FLOOR.
+        return lse - np.log(self.samples_.size * h) - 0.5 * _LOG_2PI  # fraclint: disable=FRL003
 
     def pdf(self, x: np.ndarray) -> np.ndarray:
         return np.exp(self.logpdf(x))

@@ -14,7 +14,7 @@ from repro.data.compendium import COMPENDIUM, load_replicates
 from repro.eval.auc import auc_score
 from repro.eval.harness import EvaluationResult, evaluate_on_replicates
 from repro.eval.stats import mean_std
-from repro.experiments.runners import PAPER_METHODS, detector_factory, make_detector
+from repro.experiments.runners import detector_factory, make_detector
 from repro.experiments.settings import StudySettings
 from repro.parallel.resources import ResourceReport
 from repro.utils.exceptions import DataError

@@ -60,9 +60,13 @@ class CategoricalNB(Classifier):
             rows = codes[labels == cls]
             for j in range(n_features):
                 counts[ci, j] += np.bincount(rows[:, j], minlength=self._n_values)
-        self.log_likelihood_ = np.log(counts / counts.sum(axis=2, keepdims=True))
+        # Positive by construction: counts is initialized to the smoothing
+        # pseudo-count (validated > 0) before bincounts are added.
+        self.log_likelihood_ = np.log(counts / counts.sum(axis=2, keepdims=True))  # fraclint: disable=FRL003
         class_counts = np.array([(labels == cls).sum() for cls in self.classes_])
-        self.log_prior_ = np.log(class_counts / class_counts.sum())
+        # Positive by construction: classes_ comes from np.unique(labels),
+        # so every class has at least one training row.
+        self.log_prior_ = np.log(class_counts / class_counts.sum())  # fraclint: disable=FRL003
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:

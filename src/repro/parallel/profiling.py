@@ -28,6 +28,17 @@ class SectionTimer:
         return "\n".join(lines)
 
 
+def cpu_seconds() -> float:
+    """Process CPU clock, for resource accounting.
+
+    This module is the only place the library may read clocks (enforced by
+    fraclint rule FRL007, see docs/invariants.md): timing must stay an
+    *observation* — never an input to results — so every consumer routes
+    through here, where the nondeterminism is contained and auditable.
+    """
+    return time.process_time()
+
+
 @contextmanager
 def timed_section(label: str, sink: "list[tuple[str, float]] | None" = None):
     """Time one section; append ``(label, wall_seconds)`` to ``sink``."""

@@ -18,9 +18,10 @@ Peak memory of a run is modelled as::
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.parallel.profiling import cpu_seconds as _cpu_now
 
 
 @dataclass(frozen=True)
@@ -79,11 +80,11 @@ class ResourceLog:
     @contextmanager
     def measure_overhead(self):
         """Time a non-itemized section (projection, encoding, scoring...)."""
-        start = time.process_time()
+        start = _cpu_now()
         try:
             yield
         finally:
-            self.overhead_seconds += time.process_time() - start
+            self.overhead_seconds += _cpu_now() - start
 
     def report(self) -> "ResourceReport":
         return ResourceReport(

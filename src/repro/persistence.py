@@ -18,11 +18,9 @@ import hashlib
 import pickle
 from pathlib import Path
 
-import numpy as np
-
 import repro
 from repro.data.schema import FeatureSchema
-from repro.utils.exceptions import DataError, ReproError
+from repro.utils.exceptions import ReproError
 
 FORMAT = "repro-detector-v1"
 

@@ -50,7 +50,8 @@ def jl_dimension_npoints(n_points: int, eps: float) -> int:
     """``k >= 4 ln(n) / (eps^2/2 - eps^3/3)``: preserve *all* pairs."""
     if n_points < 2:
         raise DataError(f"need at least 2 points; got {n_points}")
-    return int(np.ceil(4.0 * np.log(n_points) / _denominator(eps)))
+    # Positive by construction: n_points >= 2 is validated just above.
+    return int(np.ceil(4.0 * np.log(n_points) / _denominator(eps)))  # fraclint: disable=FRL003
 
 
 def jl_dimension_distributional(delta: float, eps: float) -> int:
@@ -58,7 +59,9 @@ def jl_dimension_distributional(delta: float, eps: float) -> int:
     with probability ``1 - delta`` (independent of n)."""
     if not 0.0 < delta < 1.0:
         raise DataError(f"delta must lie in (0, 1); got {delta}")
-    return int(np.ceil(np.log(2.0 / delta) / _denominator(eps)))
+    # Positive by construction: delta in (0, 1) is validated just above,
+    # so 2/delta > 2.
+    return int(np.ceil(np.log(2.0 / delta) / _denominator(eps)))  # fraclint: disable=FRL003
 
 
 def paper_epsilon(k: int, delta: float = 0.05) -> float:
@@ -71,7 +74,10 @@ def paper_epsilon(k: int, delta: float = 0.05) -> float:
     """
     if k < 1:
         raise DataError(f"k must be >= 1; got {k}")
-    target = np.log(2.0 / delta) / k
+    if not 0.0 < delta < 1.0:
+        raise DataError(f"delta must lie in (0, 1); got {delta}")
+    # Positive by construction: delta in (0, 1) is validated just above.
+    target = np.log(2.0 / delta) / k  # fraclint: disable=FRL003
     lo, hi = 1e-6, 1.0 - 1e-9
     if _denominator(hi) < target:
         raise DataError(f"k={k} is too small for any eps < 1 at delta={delta}")

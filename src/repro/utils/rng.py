@@ -37,6 +37,8 @@ def spawn_seeds(rng: "int | np.random.Generator | np.random.SeedSequence | None"
     per-feature (or per-ensemble-member) work item seeded with child ``i``
     produces the same values no matter which worker executes it.
     """
+    if not isinstance(n, (int, np.integer)) or isinstance(n, bool):
+        raise ValueError(f"number of seeds must be an integer; got {n!r}")
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of seeds: {n}")
     if isinstance(rng, np.random.SeedSequence):

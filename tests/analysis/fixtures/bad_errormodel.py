@@ -1,0 +1,37 @@
+"""Fixture: FRL005 error-model contract violations."""
+
+import numpy as np
+
+from repro.errormodels.base import ErrorModel
+from repro.utils.validation import check_fitted
+
+
+class NoSurprisalModel(ErrorModel):
+    """Violation: concrete (has fit) but never implements surprisal."""
+
+    def fit(self, predictions, truths):
+        self.mu_ = float(np.mean(truths - predictions))
+        return self
+
+
+class UnguardedModel(ErrorModel):
+    """Violation: surprisal does not guard fitted state."""
+
+    def fit(self, predictions, truths):
+        self.mu_ = float(np.mean(truths - predictions))
+        return self
+
+    def surprisal(self, predictions, truths):
+        return np.abs(truths - predictions - self.mu_)
+
+
+class GoodModel(ErrorModel):
+    """Contract-clean: fit + check_fitted-guarded surprisal."""
+
+    def fit(self, predictions, truths):
+        self.mu_ = float(np.mean(truths - predictions))
+        return self
+
+    def surprisal(self, predictions, truths):
+        check_fitted(self, "mu_")
+        return np.abs(truths - predictions - self.mu_)

@@ -1,0 +1,26 @@
+"""Fixture: FRL006 mutable defaults, FRL007 clocks, FRL008 asserts."""
+
+import time
+from datetime import datetime
+
+
+def accumulate(item, bucket=[]):  # violation: FRL006
+    bucket.append(item)
+    return bucket
+
+
+def configure(options={}):  # violation: FRL006
+    return dict(options)
+
+
+def stamp():
+    return time.time()  # violation: FRL007
+
+
+def today():
+    return datetime.now()  # violation: FRL007
+
+
+def checked(x):
+    assert x > 0, "x must be positive"  # violation: FRL008
+    return x

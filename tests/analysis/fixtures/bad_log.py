@@ -1,0 +1,17 @@
+"""Fixture: FRL003 log arguments that are not provably positive."""
+
+import math
+
+import numpy as np
+
+
+def unsmoothed_counts(counts):
+    return np.log(counts)  # violation: counts can be 0
+
+
+def raw_ratio(counts, total):
+    return math.log(counts / total)  # violation: unsmoothed ratio
+
+
+def probability(p):
+    return np.log2(p)  # violation: p can be 0

@@ -1,0 +1,20 @@
+"""Fixture: FRL001 legacy global-state randomness (4+ violations)."""
+
+import random  # noqa  (violation: stdlib random import)
+
+import numpy as np
+from numpy.random import shuffle  # noqa  (violation: legacy numpy import)
+
+np.random.seed(42)  # violation: module-level global seeding
+
+
+def sample(n):
+    vals = np.random.rand(n)  # violation: legacy draw
+    random.shuffle(vals)  # violation: stdlib global-state call
+    return vals
+
+
+def fine(rng=None):
+    gen = np.random.default_rng(rng)  # allowed: explicit generator
+    seq = np.random.SeedSequence(0)  # allowed: explicit seed sequence
+    return gen, seq

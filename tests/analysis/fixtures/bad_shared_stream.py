@@ -1,0 +1,31 @@
+"""Fixture: FRL002 one Generator fanned out to parallel work items."""
+
+import numpy as np
+
+from repro.parallel.executor import run_tasks
+from repro.utils.rng import as_generator, spawn_seeds
+
+
+def work(item):
+    gen, i = item
+    return gen.normal() + i
+
+
+def comprehension_fanout(seed, items):
+    gen = np.random.default_rng(seed)
+    return run_tasks(work, [(gen, i) for i in items])  # violation
+
+
+def replication_fanout(seed, n):
+    gen = as_generator(seed)
+    return run_tasks(work, [gen] * n)  # violation
+
+
+def lambda_capture(seed, items):
+    gen = np.random.default_rng(seed)
+    return run_tasks(lambda item: gen.normal() + item, items)  # violation
+
+
+def correct_fanout(seed, items):
+    seeds = spawn_seeds(seed, len(items))  # allowed: per-item child seeds
+    return run_tasks(work, [(np.random.default_rng(s), i) for s, i in zip(seeds, items)])

@@ -1,0 +1,18 @@
+"""Fixture: violation-free library-style module."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, spawn_seeds
+
+
+def draw(seed, n):
+    gen = as_generator(seed)
+    return gen.normal(size=n)
+
+
+def per_item_seeds(seed, n):
+    return [int(s.generate_state(1)[0]) for s in spawn_seeds(seed, n)]
+
+
+def log_density(z):
+    return -0.5 * z * z - 0.5 * np.log(2.0 * np.pi)

@@ -1,0 +1,36 @@
+"""Fixture: FRL003-clean log calls (the prover accepts each shape)."""
+
+import numpy as np
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+SIGMA_FLOOR = 1e-6
+
+
+def floored_scale(sigma):
+    return np.log(max(sigma, SIGMA_FLOOR))
+
+
+def elementwise_floor(sigma):
+    return np.log(np.maximum(sigma, 1e-6))
+
+
+def clipped(p):
+    return np.log(np.clip(p, 1e-12, 1.0))
+
+
+def logsumexp_reduction(log_kernels):
+    return np.log(np.exp(log_kernels).sum(axis=1))
+
+
+def guarded_select(p):
+    return np.log2(np.where(p > 0, p, 1.0))
+
+
+def smoothed(counts):
+    return np.log(np.abs(counts) + 1.0)
+
+
+def audited(x):
+    # Positive by construction in the caller (audited suppression).
+    return np.log(x)  # fraclint: disable=FRL003

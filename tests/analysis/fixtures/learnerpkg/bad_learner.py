@@ -1,0 +1,46 @@
+"""Fixture: FRL004 learner-contract violations (3 distinct failures)."""
+
+import numpy as np
+
+from repro.learners.base import Classifier, Regressor
+
+
+class NoValidateRegressor(Regressor):
+    """Violation: fit skips _validate_xy (also unregistered)."""
+
+    def _reset(self):
+        self.mean_ = None
+
+    def fit(self, x, y):
+        self.mean_ = float(np.mean(y))
+        return self
+
+    def predict(self, x):
+        return np.full(x.shape[0], self.mean_)
+
+
+class NoResetClassifier(Classifier):
+    """Violation: never overrides _reset (also unregistered)."""
+
+    def fit(self, x, y):
+        x, y = self._validate_xy(x, y)
+        self.majority_ = int(np.bincount(y.astype(np.intp)).argmax())
+        return self
+
+    def predict(self, x):
+        return np.full(x.shape[0], self.majority_)
+
+
+class GoodRegressor(Regressor):
+    """Contract-clean and registered in the sibling registry."""
+
+    def _reset(self):
+        self.mean_ = None
+
+    def fit(self, x, y):
+        x, y = self._validate_xy(x, y)
+        self.mean_ = float(np.mean(y))
+        return self
+
+    def predict(self, x):
+        return np.full(x.shape[0], self.mean_)

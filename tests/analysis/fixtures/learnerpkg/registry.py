@@ -1,0 +1,6 @@
+"""Fixture registry: only GoodRegressor is registered."""
+
+from tests.analysis.fixtures.learnerpkg.bad_learner import GoodRegressor
+
+REGRESSORS = {"good": GoodRegressor}
+CLASSIFIERS = {}

@@ -1,0 +1,21 @@
+"""Fixture: suppression-comment handling.
+
+Line 10 carries a line-scoped suppression; FRL008 is disabled for the
+whole file; the final assert has no suppression and must still fire.
+"""
+# fraclint: disable-file=FRL008
+
+import numpy as np
+
+
+def audited_log(x):
+    return np.log(x)  # fraclint: disable=FRL003
+
+
+def silenced_assert(x):
+    assert x  # silenced by the file-level FRL008 suppression
+    return x
+
+
+def unsuppressed_log(p):
+    return np.log(p)  # no suppression: must still be reported

@@ -1,0 +1,209 @@
+"""Framework-level tests: suppressions, aliases, CLI, reporters."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Violation,
+    all_checkers,
+    analyze_file,
+    analyze_paths,
+    iter_python_files,
+    render_json,
+    render_text,
+)
+from repro.analysis.__main__ import main
+from repro.analysis.framework import PARSE_ERROR_RULE, FileContext
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class TestRegistry:
+    def test_at_least_eight_rules(self):
+        checkers = all_checkers()
+        assert len(checkers) >= 8
+        rules = [c.rule for c in checkers]
+        assert rules == sorted(rules)
+        assert len(set(rules)) == len(rules)
+
+    def test_expected_rule_ids_present(self):
+        rules = {c.rule for c in all_checkers()}
+        assert {
+            "FRL001",
+            "FRL002",
+            "FRL003",
+            "FRL004",
+            "FRL005",
+            "FRL006",
+            "FRL007",
+            "FRL008",
+        } <= rules
+
+    def test_every_rule_documented(self):
+        for checker in all_checkers():
+            assert checker.name, checker.rule
+            assert checker.description, checker.rule
+
+
+class TestAliases:
+    def test_import_as_resolution(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("import numpy as np\nx = np.random.seed\n")
+        ctx = FileContext.parse(f)
+        import ast
+
+        attr = ast.parse("np.random.seed").body[0].value
+        ctx2 = FileContext.parse(f)
+        assert ctx2.resolve(attr) == "numpy.random.seed"
+        assert ctx.aliases["np"] == "numpy"
+
+    def test_from_import_resolution(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text("from math import log as ln\n")
+        ctx = FileContext.parse(f)
+        assert ctx.aliases["ln"] == "math.log"
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        violations = analyze_file(FIXTURES / "suppressed.py", force_library=True)
+        lines = {(v.rule, v.line) for v in violations}
+        assert ("FRL003", 12) not in lines  # line-scoped disable honoured
+        assert any(rule == "FRL003" for rule, _ in lines)  # unsuppressed site
+
+    def test_file_suppression(self):
+        violations = analyze_file(FIXTURES / "suppressed.py", force_library=True)
+        assert all(v.rule != "FRL008" for v in violations)
+
+    def test_string_hash_not_a_comment(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            'MSG = "# fraclint: disable-file=FRL008"\n'
+            "def f(x):\n"
+            "    assert x\n"
+        )
+        violations = analyze_file(f, force_library=True)
+        assert [v.rule for v in violations] == ["FRL008"]
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_as_frl000(self, tmp_path):
+        f = tmp_path / "broken.py"
+        f.write_text("def f(:\n")
+        violations = analyze_file(f, force_library=True)
+        assert len(violations) == 1
+        assert violations[0].rule == PARSE_ERROR_RULE
+
+
+class TestFileDiscovery:
+    def test_skips_pycache_and_hidden(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / ".hidden").mkdir()
+        (tmp_path / "pkg" / ".hidden" / "h.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        found = list(iter_python_files([tmp_path]))
+        assert [p.name for p in found] == ["ok.py"]
+
+    def test_single_file_path(self):
+        found = list(iter_python_files([FIXTURES / "clean.py"]))
+        assert len(found) == 1
+
+
+class TestReporters:
+    def _violations(self):
+        return [
+            Violation(path="a.py", line=3, col=1, rule="FRL001", message="bad"),
+            Violation(path="b.py", line=9, col=5, rule="FRL008", message="worse"),
+        ]
+
+    def test_text_format(self):
+        out = render_text(self._violations(), n_files=4)
+        assert "a.py:3:1: FRL001 bad" in out
+        assert "2 violation(s) in 2 file(s)" in out
+
+    def test_text_clean(self):
+        assert "clean" in render_text([], n_files=4)
+
+    def test_json_roundtrip(self):
+        payload = json.loads(render_json(self._violations(), n_files=4))
+        assert payload["count"] == 2
+        assert payload["files_scanned"] == 4
+        assert payload["violations"][0]["rule"] == "FRL001"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([str(ROOT / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one_with_locations(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main([str(bad.parent)]) == 1
+        out = capsys.readouterr().out
+        assert "FRL001" in out
+        assert "bad.py:2:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] >= 1
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n\ndef f(x=[]):\n    return x\n")
+        assert main([str(bad), "--select", "FRL006"]) == 1
+        out = capsys.readouterr().out
+        assert "FRL006" in out and "FRL001" not in out
+
+    def test_disable_skips_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main([str(bad), "--disable", "FRL001"]) == 0
+
+    def test_unknown_rule_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--select", "FRL999", str(FIXTURES / "clean.py")])
+        assert excinfo.value.code == 2
+
+    def test_missing_path_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no/such/dir"])
+        assert excinfo.value.code == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("FRL001", "FRL008"):
+            assert rule in out
+
+
+class TestSelfCheck:
+    """Acceptance: the shipped tree is clean, and the gate actually gates."""
+
+    def test_shipped_src_tree_is_violation_free(self):
+        violations, n_files = analyze_paths([ROOT / "src"])
+        assert n_files > 50
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_whole_repo_is_violation_free(self):
+        paths = [ROOT / "src", ROOT / "tests", ROOT / "benchmarks", ROOT / "examples"]
+        violations, _ = analyze_paths([p for p in paths if p.exists()])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_introduced_violation_is_caught(self, tmp_path):
+        """Copy a shipped module, strip one guard, and fraclint must fire."""
+        src = (ROOT / "src/repro/errormodels/gaussian.py").read_text(encoding="utf-8")
+        mutated = src.replace("  # fraclint: disable=FRL003", "")
+        assert mutated != src
+        target = tmp_path / "gaussian.py"
+        target.write_text(mutated)
+        violations = analyze_file(target, force_library=True)
+        assert any(v.rule == "FRL003" for v in violations)

@@ -60,3 +60,62 @@ class TestSpawnSeeds:
         a = np.random.default_rng(first[0]).integers(1 << 30)
         b = np.random.default_rng(second[0]).integers(1 << 30)
         assert a != b
+
+
+class TestSpawnSeedsEdgeCases:
+    """Edge cases of the SeedSequence plumbing (DESIGN.md §6)."""
+
+    def test_negative_raises_clear_valueerror(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_seeds(0, -3)
+        with pytest.raises(ValueError, match="negative"):
+            spawn_generators(0, -1)
+
+    def test_non_integer_count_raises(self):
+        with pytest.raises(ValueError, match="integer"):
+            spawn_seeds(0, 2.5)
+        with pytest.raises(ValueError, match="integer"):
+            spawn_seeds(0, True)
+
+    def test_seed_sequence_children_are_reproducible(self):
+        a = spawn_seeds(np.random.SeedSequence(7), 3)
+        b = spawn_seeds(np.random.SeedSequence(7), 3)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.generate_state(4), sb.generate_state(4))
+
+    def test_same_seed_sequence_object_spawns_fresh_children(self):
+        # SeedSequence.spawn advances the parent's child counter, so spawning
+        # twice from the *same object* must give independent (new) children.
+        ss = np.random.SeedSequence(11)
+        first = spawn_seeds(ss, 2)
+        second = spawn_seeds(ss, 2)
+        assert not np.array_equal(
+            first[0].generate_state(4), second[0].generate_state(4)
+        )
+
+    def test_generator_input_advances_stream(self):
+        # Generator semantics: repeated spawns from the same generator draw
+        # from its stream and therefore differ between calls.
+        gen = np.random.default_rng(0)
+        first = spawn_seeds(gen, 2)
+        second = spawn_seeds(gen, 2)
+        assert not np.array_equal(
+            first[0].generate_state(4), second[0].generate_state(4)
+        )
+
+    def test_shared_generator_passthrough_shares_state(self):
+        # as_generator must NOT reseed: passing the same generator twice
+        # yields one shared stream (the documented shared-stream semantics
+        # that FRL002 exists to keep out of parallel fan-outs).
+        gen = np.random.default_rng(123)
+        g1 = as_generator(gen)
+        g2 = as_generator(gen)
+        assert g1 is gen and g2 is gen
+        a = g1.integers(0, 1 << 30, size=3)
+        b = g2.integers(0, 1 << 30, size=3)
+        assert not np.array_equal(a, b)  # second draw continued the stream
+
+    def test_spawn_generators_count_and_type(self):
+        gens = spawn_generators(np.random.SeedSequence(3), 4)
+        assert len(gens) == 4
+        assert all(isinstance(g, np.random.Generator) for g in gens)
