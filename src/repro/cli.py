@@ -10,16 +10,25 @@ Usage::
     python -m repro fig2
     python -m repro fig3 --projections 10
     python -m repro datasets            # list the compendium
+    python -m repro fit --dataset breast.basal --output detector.pkl \
+        --checkpoint run.journal --max-retries 2 --task-timeout 600
 
 The heavy tables honour ``--scale`` / ``--samples`` / ``--replicates`` so a
 laptop run can trade fidelity for time (see README "Reproducing the
 paper").
+
+Fault tolerance: ``--max-retries`` / ``--task-timeout`` apply to every
+engine run (failed features are skipped and reported instead of aborting
+the run); ``fit`` additionally streams completed feature models to a
+``--checkpoint`` journal, and ``--resume`` restarts a killed run from it,
+re-executing only the missing items (docs/scaling.md, "Fault tolerance").
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.data.compendium import COMPENDIUM, table1_rows
 from repro.experiments import (
@@ -42,6 +51,8 @@ def _settings(args: argparse.Namespace) -> StudySettings:
         scale=args.scale,
         sample_scale=args.samples,
         n_replicates=args.replicates,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
         seed=args.seed,
     )
 
@@ -137,8 +148,71 @@ def _cmd_fig3(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_fit(args: argparse.Namespace) -> str:
+    """Train one detector on a compendium data set, fault-tolerantly."""
+    from dataclasses import replace
+
+    from repro import load_replicates
+    from repro.core.frac import FRaC
+    from repro.parallel import CheckpointJournal, ExecutionConfig
+    from repro.persistence import save_detector
+    from repro.utils.exceptions import ReproError
+
+    settings = _settings(args)
+    rep = load_replicates(
+        args.dataset, 1, scale=args.scale, sample_scale=args.samples, rng=args.seed
+    )[0]
+    cfg = settings.config_for(args.dataset)
+    cfg = replace(
+        cfg,
+        execution=ExecutionConfig(
+            mode=args.mode,
+            n_workers=args.workers,
+            retry=settings.retry_policy,
+        ),
+    )
+
+    journal = None
+    if args.checkpoint:
+        path = Path(args.checkpoint)
+        if path.exists() and not args.resume:
+            raise ReproError(
+                f"checkpoint journal {path} already exists; pass --resume to "
+                f"continue that run (or remove the file to start over)"
+            )
+        journal = CheckpointJournal(path)
+    elif args.resume:
+        raise ReproError("--resume requires --checkpoint <journal>")
+
+    detector = FRaC(cfg, rng=args.seed)
+    try:
+        detector.fit(rep.x_train, rep.schema, checkpoint=journal)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    lines = [
+        f"fitted {args.dataset}: {len(detector.models_)} feature models "
+        f"({detector.n_skipped_} skipped) under {args.mode} mode",
+    ]
+    if journal is not None:
+        lines.append(
+            f"checkpoint {args.checkpoint}: resumed {journal.preloaded} "
+            f"item(s), journaled {journal.appended} new"
+        )
+    report = detector.failure_report_
+    if report:
+        lines.append(report.summary())
+    if args.output:
+        save_detector(detector, args.output, schema=rep.schema,
+                      metadata={"dataset": args.dataset, "seed": args.seed})
+        lines.append(f"detector written to {args.output}")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
+    "fit": _cmd_fit,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -168,19 +242,49 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--projections", type=int, default=10,
                         help="projections per Fig-3 point (default 10)")
     parser.add_argument("--seed", type=int, default=2017, help="root seed")
-    parser.add_argument("--output", default="", help="write the report here (report command)")
+    parser.add_argument("--output", default="",
+                        help="write the report (report command) or the fitted "
+                             "detector (fit command) here")
     parser.add_argument("--verbose", action="store_true",
                         help="log per-run progress to stderr")
+
+    fault = parser.add_argument_group("fault tolerance (docs/scaling.md)")
+    fault.add_argument("--max-retries", type=int, default=0,
+                       help="retries per feature work item before it is "
+                            "skipped and reported (default 0 = fail fast)")
+    fault.add_argument("--task-timeout", type=float, default=None,
+                       help="seconds before a pooled work item is declared "
+                            "hung and its pool recycled (default: none)")
+    fault.add_argument("--checkpoint", default="",
+                       help="fit: stream completed feature models to this "
+                            "append-only journal")
+    fault.add_argument("--resume", action="store_true",
+                       help="fit: resume from an existing --checkpoint "
+                            "journal, re-running only missing items")
+
+    fit = parser.add_argument_group("fit command")
+    fit.add_argument("--dataset", default="breast.basal",
+                     help="compendium data set to fit (default breast.basal)")
+    fit.add_argument("--mode", choices=["serial", "thread", "process"],
+                     default="serial", help="execution mode for fit")
+    fit.add_argument("--workers", type=int, default=None,
+                     help="worker count for pooled modes (default: cpu count)")
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    from repro.utils.exceptions import ReproError
+
     args = build_parser().parse_args(argv)
     if args.verbose:
         from repro.utils.logging import enable_console_logging
 
         enable_console_logging()
-    print(_COMMANDS[args.command](args))
+    try:
+        print(_COMMANDS[args.command](args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -30,7 +30,7 @@ from repro.errormodels.confusion import ConfusionErrorModel
 from repro.errormodels.entropy import discrete_entropy
 from repro.errormodels.gaussian import GaussianErrorModel
 from repro.errormodels.kde import GaussianKDE
-from repro.learners.registry import make_learner
+from repro.learners.registry import learner_accepts_param, make_learner
 from repro.parallel.executor import get_shared
 from repro.parallel.profiling import cpu_seconds
 from repro.parallel.resources import TaskCost, design_matrix_bytes, training_work_units
@@ -80,11 +80,30 @@ def kfold_indices(
 
 
 def _make_predictor(name: str, params: dict, seed: int):
-    """Instantiate a learner, injecting the task seed when supported."""
-    try:
+    """Instantiate a learner, injecting the task seed when supported.
+
+    Support is decided by inspecting the learner's signature
+    (:func:`repro.learners.registry.learner_accepts_param`) rather than by
+    catching ``TypeError``: a blanket except would also swallow the
+    TypeError caused by a bad *user* parameter and retry without the seed,
+    turning a configuration mistake into a silently nondeterministic run.
+    Genuine construction errors always propagate.
+    """
+    if learner_accepts_param(name, "seed"):
         return make_learner(name, **{**params, "seed": seed})
-    except TypeError:
-        return make_learner(name, **params)
+    return make_learner(name, **params)
+
+
+def feature_task_key(task: FeatureTask) -> tuple[int, int, int]:
+    """Stable checkpoint-journal key for one work item.
+
+    ``(feature_id, slot, seed)`` pins the task's RNG stream, and the
+    stream pins the CV folds, the input draw, and the learner seed — so
+    equal keys imply bit-identical results (the idempotence resume relies
+    on), while any change to the root seed or task layout changes the keys
+    and naturally invalidates stale journal entries.
+    """
+    return (int(task.feature_id), int(task.slot), int(task.seed))
 
 
 def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None":

@@ -20,6 +20,7 @@ from repro.core.diverse import DiverseFRaC
 from repro.core.filtering import FilteredFRaC
 from repro.core.types import AnomalyDetector, ContributionMatrix
 from repro.data.schema import FeatureSchema
+from repro.parallel.faults import FailureReport
 from repro.parallel.resources import ResourceReport
 from repro.utils.exceptions import DataError, NotFittedError
 from repro.utils.rng import spawn_seeds
@@ -80,16 +81,24 @@ class FRaCEnsemble(AnomalyDetector):
         self.n_members = int(n_members)
         self._rng = rng
         self.members_: "list[AnomalyDetector] | None" = None
+        #: Union of the members' per-feature failure reports (features a
+        #: member dropped after exhausting retries; see repro.parallel).
+        self.failure_report_: "FailureReport | None" = None
 
     def fit(self, x_train: np.ndarray, schema: FeatureSchema) -> "FRaCEnsemble":
         x_train = check_2d(x_train, "x_train")
         seeds = spawn_seeds(self._rng, self.n_members)
         members = []
+        report = FailureReport()
         for i, seed in enumerate(seeds):
             member = self.member_factory(i, seed)
             member.fit(x_train, schema)
             members.append(member)
+            member_report = getattr(member, "failure_report_", None)
+            if member_report is not None:
+                report.extend(member_report)
         self.members_ = members
+        self.failure_report_ = report
         return self
 
     def score(self, x_test: np.ndarray) -> np.ndarray:

@@ -16,7 +16,7 @@ variants of the paper plug into:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.core.config import FRaCConfig
 from repro.core.engine import (
     FeatureTask,
     SharedTrainState,
+    feature_task_key,
     run_feature_task,
     score_contributions,
 )
@@ -31,6 +32,7 @@ from repro.core.imputation import Preprocessor
 from repro.core.types import AnomalyDetector, ContributionMatrix, FeatureModel
 from repro.data.schema import FeatureSchema
 from repro.parallel.executor import run_tasks
+from repro.parallel.faults import FailureReport, FaultPlan
 from repro.parallel.resources import ResourceLog, ResourceReport, design_matrix_bytes
 from repro.utils.exceptions import DataError, NotFittedError
 from repro.utils.logging import get_logger
@@ -141,9 +143,30 @@ class FRaC(AnomalyDetector):
         self._pre: "Preprocessor | None" = None
         self._log: "ResourceLog | None" = None
         self.n_skipped_: int = 0
+        self.n_failed_: int = 0
+        self.failure_report_: "FailureReport | None" = None
 
     # -- fitting ---------------------------------------------------------
-    def fit(self, x_train: np.ndarray, schema: FeatureSchema) -> "FRaC":
+    def fit(
+        self,
+        x_train: np.ndarray,
+        schema: FeatureSchema,
+        *,
+        checkpoint: Any = None,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> "FRaC":
+        """Train one feature model per (target, slot) work item.
+
+        ``checkpoint`` (a :class:`repro.parallel.CheckpointJournal`)
+        streams completed items to disk and resumes a killed run,
+        re-executing only missing items; ``fault_plan`` is the
+        test-suite's deterministic fault-injection hook. Fault-handling
+        behaviour (timeout, retries, skip-on-exhaustion) is configured on
+        ``config.execution.retry``; features dropped after exhausting
+        retries are recorded in ``self.failure_report_`` and excluded from
+        the NS sum exactly like under-observed features (the "otherwise:
+        0" branch).
+        """
         x_train = check_2d(x_train, "x_train")
         if x_train.shape[1] != len(schema):
             raise DataError(
@@ -204,9 +227,27 @@ class FRaC(AnomalyDetector):
             self.config.execution.mode,
             self.config.execution.effective_workers,
         )
-        results = run_tasks(
-            run_feature_task, tasks, shared=shared, config=self.config.execution
+        failures = FailureReport()
+        resilient = (
+            self.config.execution.retry is not None
+            or checkpoint is not None
+            or fault_plan is not None
         )
+        if resilient:
+            results = run_tasks(
+                run_feature_task,
+                tasks,
+                shared=shared,
+                config=self.config.execution,
+                checkpoint=checkpoint,
+                task_key=feature_task_key,
+                fault_plan=fault_plan,
+                failures=failures,
+            )
+        else:
+            results = run_tasks(
+                run_feature_task, tasks, shared=shared, config=self.config.execution
+            )
 
         models: list[FeatureModel] = []
         self.n_skipped_ = 0
@@ -217,6 +258,15 @@ class FRaC(AnomalyDetector):
             model, cost = res
             models.append(model)
             log.add(cost)
+        self.failure_report_ = failures
+        self.n_failed_ = len(failures)
+        if failures:
+            _log.warning(
+                "%d work item(s) dropped after exhausting retries; their "
+                "features contribute 0 to the NS sum:\n%s",
+                len(failures),
+                failures.summary(),
+            )
         if not models:
             raise DataError(
                 "no feature supported a model (all columns below min_observed)"

@@ -12,12 +12,13 @@ and survive the scaling (DESIGN.md §5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.config import FRaCConfig
 from repro.data.compendium import COMPENDIUM
+from repro.parallel.faults import RetryPolicy
 from repro.utils.exceptions import DataError
 
 #: Feature scale used by the shipped benchmarks (1/64 of the paper's
@@ -48,6 +49,13 @@ class StudySettings:
     expression_config / snp_config:
         Engine settings per data kind — linear SVR for expression, decision
         trees for SNPs, as in §III-B.
+    max_retries / task_timeout:
+        Fault tolerance for every engine run in the study: when either is
+        set, per-feature work items retry up to ``max_retries`` times
+        (items hung past ``task_timeout`` seconds are recycled) and
+        features that still fail are skipped with a recorded
+        :class:`repro.parallel.FailureReport` instead of aborting the run
+        (docs/scaling.md, "Fault tolerance").
     seed:
         Root seed for the whole study.
     """
@@ -71,13 +79,28 @@ class StudySettings:
             regressor_params={"max_depth": 6},
         )
     )
+    max_retries: int = 0
+    task_timeout: "float | None" = None
     seed: int = 2017
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0 or not 0.0 < self.sample_scale <= 1.0:
             raise DataError("scale factors must lie in (0, 1]")
+        if self.max_retries < 0:
+            raise DataError(f"max_retries must be >= 0; got {self.max_retries}")
         if self.jl_components == 0:
             object.__setattr__(self, "jl_components", max(8, int(round(1024 * self.scale))))
+
+    @property
+    def retry_policy(self) -> "RetryPolicy | None":
+        """The study-wide retry policy, or ``None`` for fail-fast runs."""
+        if self.max_retries == 0 and self.task_timeout is None:
+            return None
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            task_timeout=self.task_timeout,
+            on_exhaustion="skip",
+        )
 
     @property
     def jl_accuracy_components(self) -> int:
@@ -94,12 +117,17 @@ class StudySettings:
         return max(8, int(round(1024 * np.sqrt(self.scale))))
 
     def config_for(self, dataset: str) -> FRaCConfig:
-        """The paper's per-kind engine settings (SVMs vs trees)."""
+        """The paper's per-kind engine settings (SVMs vs trees), with the
+        study's retry policy applied to the execution config."""
         try:
             kind = COMPENDIUM[dataset].kind
         except KeyError:
             raise DataError(f"unknown data set {dataset!r}") from None
-        return self.expression_config if kind == "expression" else self.snp_config
+        cfg = self.expression_config if kind == "expression" else self.snp_config
+        policy = self.retry_policy
+        if policy is not None and cfg.execution.retry != policy:
+            cfg = replace(cfg, execution=replace(cfg.execution, retry=policy))
+        return cfg
 
     def jl_dim(self, paper_dim: int) -> int:
         """A paper JL dimension (1024/2048/4096) scaled to this study."""

@@ -7,6 +7,7 @@ those names to constructors.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.learners.base import BaseLearner, Classifier, Regressor
@@ -34,11 +35,41 @@ CLASSIFIERS: dict[str, Callable[..., Classifier]] = {
 }
 
 
-def make_learner(name: str, **kwargs) -> BaseLearner:
-    """Instantiate a learner by registry name, forwarding hyper-parameters."""
+def learner_constructor(name: str) -> Callable[..., BaseLearner]:
+    """The registered constructor for ``name`` (ValueError if unknown)."""
     table = {**REGRESSORS, **CLASSIFIERS}
     try:
-        ctor = table[name]
+        return table[name]
     except KeyError:
         raise ValueError(f"unknown learner {name!r}; available: {sorted(table)}") from None
-    return ctor(**kwargs)
+
+
+def learner_accepts_param(name: str, param: str) -> bool:
+    """Whether ``name``'s constructor accepts keyword argument ``param``.
+
+    Decided by signature inspection, not by try/except around construction:
+    catching ``TypeError`` there cannot distinguish "this learner takes no
+    seed" from "the caller passed a bad parameter", and the engine must
+    never silently drop a seed on the latter (determinism would quietly
+    depend on user typos). Constructors with ``**kwargs`` are assumed to
+    accept everything, as are the rare callables ``inspect`` cannot see
+    through.
+    """
+    ctor = learner_constructor(name)
+    try:
+        sig = inspect.signature(ctor)
+    except (TypeError, ValueError):  # e.g. C-implemented callables
+        return True
+    params = sig.parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return True
+    candidate = params.get(param)
+    return candidate is not None and candidate.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
+
+
+def make_learner(name: str, **kwargs) -> BaseLearner:
+    """Instantiate a learner by registry name, forwarding hyper-parameters."""
+    return learner_constructor(name)(**kwargs)

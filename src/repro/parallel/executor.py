@@ -15,23 +15,59 @@ Large shared state is installed once per worker via an initializer and read
 through :func:`get_shared`; per-item payloads must stay small and picklable.
 Work functions receive child seeds derived via ``SeedSequence.spawn`` by the
 caller, so results are identical across modes (DESIGN.md §6).
+
+Fault tolerance
+---------------
+With a :class:`~repro.parallel.faults.RetryPolicy` on the config (or a
+checkpoint/fault-plan/failure-report argument), :func:`run_tasks` switches
+from the fail-fast fast path to a resilient scheduler: items get a per-task
+timeout and bounded retries with deterministic backoff; a crashed worker
+breaks only its in-flight chunk, which is resubmitted under a fresh pool
+instead of aborting the batch; exhausted items are *skipped* (their result
+is ``None`` — the NS "otherwise: 0" branch) and recorded in a structured
+:class:`~repro.parallel.faults.FailureReport`. Completed results can stream
+to a :class:`~repro.parallel.checkpoint.CheckpointJournal` so a killed
+batch resumes where it left off, re-executing only missing items. Retries
+re-run the same pure ``fn(item)``, so fault handling never changes values
+— only which items complete — preserving the cross-mode determinism
+contract.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, TypeVar
 
 import multiprocessing as mp
 
+from repro.parallel import profiling
+from repro.parallel.faults import (
+    FailureReport,
+    FaultPlan,
+    RetryPolicy,
+    TaskFailure,
+    TaskOutcome,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from repro.utils.exceptions import ReproError
+from repro.utils.logging import get_logger
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 _MODES = ("serial", "thread", "process")
+
+_log = get_logger("parallel.executor")
 
 # Worker-side shared state. In serial/thread modes this is process-local; in
 # process mode the initializer installs it in each forked worker.
@@ -60,12 +96,18 @@ class ExecutionConfig:
         Worker count for the pooled modes; ``None`` uses ``os.cpu_count()``.
     chunk_size:
         Items per pickled task in process mode; ``None`` picks
-        ``ceil(n_items / (4 * n_workers))``.
+        ``ceil(n_items / (4 * n_workers))``. (The resilient path always
+        submits single-item chunks so failures are attributable.)
+    retry:
+        Fault-tolerance policy. ``None`` keeps the legacy fail-fast
+        behaviour: the first task exception propagates and aborts the
+        batch.
     """
 
     mode: str = "serial"
     n_workers: "int | None" = None
     chunk_size: "int | None" = None
+    retry: "RetryPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -74,6 +116,8 @@ class ExecutionConfig:
             raise ReproError(f"n_workers must be >= 1; got {self.n_workers}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ReproError(f"chunk_size must be >= 1; got {self.chunk_size}")
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise ReproError(f"retry must be a RetryPolicy; got {self.retry!r}")
 
     @property
     def effective_workers(self) -> int:
@@ -88,17 +132,59 @@ def run_tasks(
     *,
     shared: Any = None,
     config: "ExecutionConfig | None" = None,
+    checkpoint: Any = None,
+    task_key: "Callable[[T], Any] | None" = None,
+    fault_plan: "FaultPlan | None" = None,
+    failures: "FailureReport | None" = None,
 ) -> list[R]:
     """Apply ``fn`` to every item, in order, under the configured mode.
 
     ``shared`` is made available to ``fn`` through :func:`get_shared`
     (installed once per worker, not per item).
+
+    Fault-tolerance arguments (any of them routes the batch through the
+    resilient scheduler; see the module docstring):
+
+    checkpoint:
+        A :class:`~repro.parallel.checkpoint.CheckpointJournal`. Items
+        whose key is already journaled are *not* re-executed; fresh
+        completions are appended as they finish. Requires ``task_key``.
+    task_key:
+        Maps an item to its stable, picklable journal key. Keys must be
+        unique within the batch and must pin the item's result (the engine
+        uses ``(feature_id, slot, seed)``).
+    fault_plan:
+        Deterministic test-only fault injection (see
+        :class:`~repro.parallel.faults.FaultPlan`).
+    failures:
+        A :class:`~repro.parallel.faults.FailureReport` to fill with any
+        items skipped after exhausting retries. Skipped items yield
+        ``None`` in the returned list.
     """
     config = config or ExecutionConfig()
     items = list(items)
+    resilient = (
+        config.retry is not None
+        or checkpoint is not None
+        or fault_plan is not None
+        or failures is not None
+    )
     if not items:
         return []
+    if not resilient:
+        return _run_fast(fn, items, shared, config)
+    outcomes = _run_resilient(
+        fn, items, shared, config, checkpoint, task_key, fault_plan, failures
+    )
+    return [outcome.value for outcome in outcomes]
 
+
+# -- legacy fail-fast path ---------------------------------------------------
+
+
+def _run_fast(
+    fn: Callable[[T], R], items: list[T], shared: Any, config: ExecutionConfig
+) -> list[R]:
     if config.mode == "serial":
         _init_shared(shared)
         try:
@@ -126,3 +212,385 @@ def run_tasks(
         initargs=(shared,),
     ) as pool:
         return list(pool.map(fn, items, chunksize=chunk))
+
+
+# -- resilient path ----------------------------------------------------------
+
+
+def _apply(
+    fn: Callable[[T], R],
+    fault_plan: "FaultPlan | None",
+    index: int,
+    attempt: int,
+    item: T,
+) -> R:
+    """The unit the resilient path executes (module-level: picklable)."""
+    if fault_plan is not None:
+        fault_plan.apply(index, attempt)
+    return fn(item)
+
+
+class _Scheduler:
+    """Shared bookkeeping for the serial and pooled resilient runners."""
+
+    def __init__(
+        self,
+        n: int,
+        policy: RetryPolicy,
+        keys: "list[Any] | None",
+        checkpoint: Any,
+        failures: "FailureReport | None",
+    ) -> None:
+        self.policy = policy
+        self.keys = keys
+        self.checkpoint = checkpoint
+        self.failures = failures if failures is not None else FailureReport()
+        self.outcomes: "list[TaskOutcome | None]" = [None] * n
+
+    def key_for(self, index: int) -> Any:
+        return None if self.keys is None else self.keys[index]
+
+    def record_cached(self, index: int, value: Any) -> None:
+        self.outcomes[index] = TaskOutcome(index=index, status="cached", value=value)
+
+    def record_ok(self, index: int, attempts: int, value: Any) -> None:
+        self.outcomes[index] = TaskOutcome(
+            index=index, status="ok", value=value, attempts=attempts
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.append(self.key_for(index), value)
+
+    def record_exhausted(
+        self, index: int, attempts: int, kind: str, exc: BaseException
+    ) -> None:
+        """An item ran out of retries: skip it, or propagate per policy."""
+        if self.policy.on_exhaustion == "raise":
+            if kind == "timeout":
+                raise TaskTimeoutError(
+                    f"task {index} exceeded {self.policy.task_timeout}s "
+                    f"on attempt {attempts}"
+                ) from exc
+            if kind == "crash":
+                raise WorkerCrashError(
+                    f"worker died running task {index} (attempt {attempts})"
+                ) from exc
+            raise exc
+        failure = TaskFailure(
+            index=index,
+            key=self.key_for(index),
+            kind=kind,
+            message=f"{type(exc).__name__}: {exc}",
+            attempts=attempts,
+        )
+        self.failures.record(failure)
+        self.outcomes[index] = TaskOutcome(
+            index=index, status="skipped", attempts=attempts, failure=failure
+        )
+        _log.warning(
+            "task %d skipped after %d attempt(s) (%s): %s",
+            index,
+            attempts,
+            kind,
+            exc,
+        )
+
+
+def _run_resilient(
+    fn: Callable[[T], R],
+    items: list[T],
+    shared: Any,
+    config: ExecutionConfig,
+    checkpoint: Any,
+    task_key: "Callable[[T], Any] | None",
+    fault_plan: "FaultPlan | None",
+    failures: "FailureReport | None",
+) -> list[TaskOutcome]:
+    # With no explicit policy the resilient path keeps fail-fast semantics
+    # (no retries, first error raises) while still honouring checkpoints.
+    policy = config.retry or RetryPolicy(max_retries=0, on_exhaustion="raise")
+
+    keys: "list[Any] | None" = None
+    if task_key is not None:
+        keys = [task_key(item) for item in items]
+        if len(set(keys)) != len(keys):
+            raise ReproError("task_key produced duplicate keys within one batch")
+    if checkpoint is not None and keys is None:
+        raise ReproError("checkpointing requires a task_key")
+
+    sched = _Scheduler(len(items), policy, keys, checkpoint, failures)
+
+    pending: list[tuple[int, int]] = []  # (item index, attempts so far)
+    if checkpoint is not None:
+        completed = checkpoint.entries()
+        for i, key in enumerate(keys):
+            if key in completed:
+                sched.record_cached(i, completed[key])
+            else:
+                pending.append((i, 0))
+        if len(pending) < len(items):
+            _log.info(
+                "checkpoint %s: %d/%d items already complete; resuming %d",
+                getattr(checkpoint, "path", "?"),
+                len(items) - len(pending),
+                len(items),
+                len(pending),
+            )
+    else:
+        pending = [(i, 0) for i in range(len(items))]
+
+    if pending:
+        if config.mode == "serial":
+            _run_resilient_serial(fn, items, shared, fault_plan, sched, pending)
+        else:
+            _run_resilient_pool(fn, items, shared, config, fault_plan, sched, pending)
+
+    missing = [i for i, outcome in enumerate(sched.outcomes) if outcome is None]
+    if missing:  # pragma: no cover - scheduler invariant
+        raise ReproError(f"scheduler lost track of items {missing}")
+    return list(sched.outcomes)
+
+
+def _run_resilient_serial(
+    fn: Callable[[T], R],
+    items: list[T],
+    shared: Any,
+    fault_plan: "FaultPlan | None",
+    sched: _Scheduler,
+    pending: list[tuple[int, int]],
+) -> None:
+    policy = sched.policy
+    _init_shared(shared)
+    try:
+        for index, attempt in pending:
+            while True:
+                try:
+                    value = _apply(fn, fault_plan, index, attempt, items[index])
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > policy.max_retries:
+                        sched.record_exhausted(index, attempt, "exception", exc)
+                        break
+                    profiling.sleep_seconds(policy.backoff_seconds(attempt))
+                else:
+                    sched.record_ok(index, attempt + 1, value)
+                    break
+    finally:
+        _init_shared(None)
+
+
+def _make_pool(mode: str, n_workers: int, shared: Any):
+    if mode == "thread":
+        return ThreadPoolExecutor(max_workers=n_workers)
+    ctx = mp.get_context("fork")
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=ctx,
+        initializer=_init_shared,
+        initargs=(shared,),
+    )
+
+
+def _teardown_pool(pool: Any, broken: bool) -> None:
+    """Shut a pool down; if it is broken or hosts a hung task, do not wait.
+
+    A hung process-mode worker would otherwise be joined forever, so any
+    surviving worker processes are terminated outright (their in-flight
+    items have already been requeued). Hung *threads* cannot be killed in
+    CPython; the abandoned pool's threads drain whenever their tasks
+    return.
+    """
+    pool.shutdown(wait=not broken, cancel_futures=True)
+    if broken:
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            if proc.is_alive():
+                proc.terminate()
+
+
+def _charge(
+    sched: _Scheduler,
+    queue: "deque[tuple[int, int]]",
+    retry_attempts: list[int],
+    index: int,
+    attempts_used: int,
+    kind: str,
+    exc: BaseException,
+) -> None:
+    """Charge one attempt to an item: requeue it, or exhaust its budget."""
+    if attempts_used > sched.policy.max_retries:
+        sched.record_exhausted(index, attempts_used, kind, exc)
+    else:
+        queue.append((index, attempts_used))
+        retry_attempts.append(attempts_used)
+
+
+def _run_resilient_pool(
+    fn: Callable[[T], R],
+    items: list[T],
+    shared: Any,
+    config: ExecutionConfig,
+    fault_plan: "FaultPlan | None",
+    sched: _Scheduler,
+    pending: list[tuple[int, int]],
+) -> None:
+    policy = sched.policy
+    queue: "deque[tuple[int, int]]" = deque(pending)
+    isolate = False
+    if config.mode == "thread":
+        _init_shared(shared)
+    try:
+        while queue:
+            retry_attempts: list[int] = []
+            if isolate:
+                isolate = False
+                _isolation_probe(
+                    fn, items, shared, config, fault_plan, sched, queue, retry_attempts
+                )
+            else:
+                isolate = _wide_wave(
+                    fn, items, shared, config, fault_plan, sched, queue, retry_attempts
+                )
+            if queue and retry_attempts:
+                # One deterministic backoff per wave: the largest pending
+                # attempt number dictates the wait.
+                profiling.sleep_seconds(
+                    max(policy.backoff_seconds(a) for a in retry_attempts)
+                )
+    finally:
+        if config.mode == "thread":
+            _init_shared(None)
+
+
+def _wide_wave(
+    fn: Callable[[T], R],
+    items: list[T],
+    shared: Any,
+    config: ExecutionConfig,
+    fault_plan: "FaultPlan | None",
+    sched: _Scheduler,
+    queue: "deque[tuple[int, int]]",
+    retry_attempts: list[int],
+) -> bool:
+    """Run every pending item under a fresh full-width pool.
+
+    A wave that breaks — worker crash or per-task timeout — harvests
+    whatever finished, requeues the survivors untouched, and recycles the
+    pool. A *timeout* is attributable (the timed-out future is known
+    exactly) and is charged directly. A *crash* is not: the dying worker
+    marks every in-flight future ``BrokenExecutor``, so whichever future
+    the harvest loop happened to be blocked on is as likely an innocent
+    bystander as the culprit. Crash waves therefore charge nobody and
+    return ``True``, asking the caller to run an isolation probe next.
+    """
+    policy = sched.policy
+    pool = _make_pool(config.mode, config.effective_workers, shared)
+    batch = list(queue)
+    queue.clear()
+    broken = False
+    crashed = False
+    try:
+        futures: "list[tuple[int, int, Future | None]]" = []
+        for index, attempt in batch:
+            if broken:
+                futures.append((index, attempt, None))
+                continue
+            try:
+                fut = pool.submit(_apply, fn, fault_plan, index, attempt, items[index])
+            except (BrokenExecutor, RuntimeError) as exc:
+                # The pool died while the wave was still being submitted;
+                # everything from here on re-runs after the isolation probe.
+                _log.warning("pool broke during submission: %s", exc)
+                broken = crashed = True
+                futures.append((index, attempt, None))
+            else:
+                futures.append((index, attempt, fut))
+
+        for index, attempt, fut in futures:
+            if fut is None:
+                queue.append((index, attempt))
+                continue
+            if broken:
+                # Pool already declared dead: keep any result that finished
+                # before the break, requeue the rest at an unchanged attempt
+                # count (none of them is known to be at fault).
+                if fut.done() and not fut.cancelled() and fut.exception() is None:
+                    sched.record_ok(index, attempt + 1, fut.result())
+                else:
+                    fut.cancel()
+                    exc = fut.exception() if fut.done() and not fut.cancelled() else None
+                    if exc is not None and not isinstance(exc, BrokenExecutor):
+                        _charge(
+                            sched, queue, retry_attempts, index, attempt + 1, "exception", exc
+                        )
+                    else:
+                        queue.append((index, attempt))
+                continue
+            try:
+                value = fut.result(timeout=policy.task_timeout)
+            except FuturesTimeoutError as exc:
+                # The item is hung (or too slow). The pool cannot be trusted
+                # to free the worker, so recycle it.
+                broken = True
+                _charge(sched, queue, retry_attempts, index, attempt + 1, "timeout", exc)
+            except BrokenExecutor:
+                broken = crashed = True
+                queue.append((index, attempt))
+            except Exception as exc:
+                _charge(sched, queue, retry_attempts, index, attempt + 1, "exception", exc)
+            else:
+                sched.record_ok(index, attempt + 1, value)
+    finally:
+        _teardown_pool(pool, broken)
+    return crashed
+
+
+def _isolation_probe(
+    fn: Callable[[T], R],
+    items: list[T],
+    shared: Any,
+    config: ExecutionConfig,
+    fault_plan: "FaultPlan | None",
+    sched: _Scheduler,
+    queue: "deque[tuple[int, int]]",
+    retry_attempts: list[int],
+) -> None:
+    """Re-run queued items one at a time under a single-worker pool.
+
+    After a wide wave breaks on a worker crash, the broken pool cannot say
+    which in-flight item killed it. With exactly one item in flight a crash
+    is attributable with certainty: charge that item, requeue the untried
+    remainder for the next full-width wave, and return. A probe that runs
+    dry without crashing has simply finished the batch.
+    """
+    policy = sched.policy
+    batch = list(queue)
+    queue.clear()
+    pool = _make_pool(config.mode, 1, shared)
+    broken = False
+    try:
+        for pos, (index, attempt) in enumerate(batch):
+            try:
+                fut = pool.submit(_apply, fn, fault_plan, index, attempt, items[index])
+            except (BrokenExecutor, RuntimeError) as exc:  # pragma: no cover
+                broken = True
+                _log.warning("isolation pool broke at submission: %s", exc)
+                queue.extend(batch[pos:])
+                return
+            try:
+                value = fut.result(timeout=policy.task_timeout)
+            except FuturesTimeoutError as exc:
+                broken = True
+                _charge(sched, queue, retry_attempts, index, attempt + 1, "timeout", exc)
+                queue.extend(batch[pos + 1 :])
+                return
+            except BrokenExecutor as exc:
+                broken = True
+                _charge(sched, queue, retry_attempts, index, attempt + 1, "crash", exc)
+                queue.extend(batch[pos + 1 :])
+                return
+            except Exception as exc:
+                _charge(sched, queue, retry_attempts, index, attempt + 1, "exception", exc)
+            else:
+                sched.record_ok(index, attempt + 1, value)
+    finally:
+        _teardown_pool(pool, broken)

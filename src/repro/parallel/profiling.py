@@ -39,6 +39,20 @@ def cpu_seconds() -> float:
     return time.process_time()
 
 
+def sleep_seconds(seconds: float) -> None:
+    """Suspend the calling thread for ``seconds`` (non-positive: no-op).
+
+    Scheduling delays — retry backoff, injected hangs — are time *effects*
+    the same way clock reads are time *observations*: neither may influence
+    computed results, only when they happen. Routing every sleep through
+    here keeps that nondeterminism contained alongside the clocks (FRL007),
+    and gives tests one seam to monkeypatch when asserting deterministic
+    backoff schedules without actually waiting.
+    """
+    if seconds > 0:
+        time.sleep(seconds)
+
+
 @contextmanager
 def timed_section(label: str, sink: "list[tuple[str, float]] | None" = None):
     """Time one section; append ``(label, wall_seconds)`` to ``sink``."""

@@ -48,14 +48,24 @@ def save_detector(
 
     ``schema`` (recommended) is recorded so :func:`load_detector` can
     verify compatibility at load/score time.
+
+    If the detector carries a fault-tolerance ``failure_report_`` (features
+    skipped after exhausted retries; see :mod:`repro.parallel.faults`), a
+    serializable summary is stored in the envelope metadata under
+    ``"failure_report"`` — a scored artifact must disclose which features
+    its NS sums are silently missing.
     """
     path = Path(path)
+    metadata = dict(metadata or {})
+    report = getattr(detector, "failure_report_", None)
+    if report is not None and len(report) and "failure_report" not in metadata:
+        metadata["failure_report"] = report.as_dict()
     envelope = {
         "format": FORMAT,
         "version": repro.__version__,
         "schema_digest": schema_digest(schema) if schema is not None else None,
         "schema": schema,
-        "metadata": dict(metadata or {}),
+        "metadata": metadata,
         "detector": detector,
     }
     with path.open("wb") as fh:

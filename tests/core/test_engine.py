@@ -7,6 +7,8 @@ from repro.core.config import FRaCConfig
 from repro.core.engine import (
     FeatureTask,
     SharedTrainState,
+    _make_predictor,
+    feature_task_key,
     kfold_indices,
     run_feature_task,
     score_contributions,
@@ -48,6 +50,100 @@ class TestKFold:
         for (ta, ha), (tb, hb) in zip(a, b):
             np.testing.assert_array_equal(ta, tb)
             np.testing.assert_array_equal(ha, hb)
+
+    def test_n_equals_k_gives_singleton_holdouts(self):
+        folds = kfold_indices(6, 6, np.random.default_rng(4))
+        assert len(folds) == 6
+        for train, holdout in folds:
+            assert len(holdout) == 1 and len(train) == 5
+        all_holdout = np.concatenate([h for _, h in folds])
+        np.testing.assert_array_equal(np.sort(all_holdout), np.arange(6))
+
+    def test_n_below_k_clamps_to_n_but_never_below_two(self):
+        # n < k: fold count drops to n...
+        assert len(kfold_indices(4, 9, np.random.default_rng(6))) == 4
+        # ...and the n = 2 floor holds even with k = 1 requested.
+        folds = kfold_indices(2, 1, np.random.default_rng(7))
+        assert len(folds) == 2
+        for train, holdout in folds:
+            assert len(train) == 1 and len(holdout) == 1
+
+    def test_permutation_follows_generator_seed(self):
+        """The fold permutation is pinned by the generator's seed: equal
+        seeds agree element-wise, different seeds shuffle differently."""
+        same_a = kfold_indices(20, 4, np.random.default_rng(11))
+        same_b = kfold_indices(20, 4, np.random.default_rng(11))
+        for (ta, ha), (tb, hb) in zip(same_a, same_b):
+            np.testing.assert_array_equal(ta, tb)
+            np.testing.assert_array_equal(ha, hb)
+        other = kfold_indices(20, 4, np.random.default_rng(12))
+        assert any(
+            not np.array_equal(ha, hb)
+            for (_, ha), (_, hb) in zip(same_a, other)
+        )
+
+    def test_consumes_generator_stream(self):
+        """Successive calls on one generator advance its stream (no hidden
+        reseeding), mirroring how a feature task draws folds then seeds."""
+        gen = np.random.default_rng(13)
+        first = kfold_indices(10, 5, gen)
+        second = kfold_indices(10, 5, gen)
+        assert any(
+            not np.array_equal(ha, hb)
+            for (_, ha), (_, hb) in zip(first, second)
+        )
+
+
+class TestMakePredictor:
+    def test_seed_injected_when_supported(self):
+        model = _make_predictor("linear_svr", {}, 1234)
+        assert model.seed == 1234
+
+    def test_seed_injected_through_var_keyword(self):
+        model = _make_predictor("tree", {"max_depth": 3}, 77)
+        assert model.seed == 77
+
+    def test_seedless_learner_constructed_without_seed(self):
+        model = _make_predictor("ridge", {"alpha": 2.0}, 99)
+        assert model.alpha == 2.0
+        assert not hasattr(model, "seed")
+
+    def test_bad_user_param_raises_instead_of_dropping_seed(self):
+        """Regression (ISSUE 2): a bad user parameter used to be swallowed
+        by a bare ``except TypeError`` that retried without the seed,
+        silently making runs nondeterministic. It must raise."""
+        with pytest.raises(TypeError):
+            _make_predictor("linear_svr", {"bogus_param": 1}, 0)
+        with pytest.raises(TypeError):
+            _make_predictor("ridge", {"bogus_param": 1}, 0)
+
+    def test_invalid_param_value_still_raises(self):
+        with pytest.raises(ValueError):
+            _make_predictor("ridge", {"alpha": -1.0}, 0)
+
+    def test_unknown_learner_name_raises(self):
+        with pytest.raises(ValueError, match="unknown learner"):
+            _make_predictor("perceptron9000", {}, 0)
+
+
+class TestFeatureTaskKey:
+    def test_key_is_feature_slot_seed(self):
+        task = FeatureTask(feature_id=3, input_ids=np.array([0, 1]), seed=42, slot=2)
+        assert feature_task_key(task) == (3, 2, 42)
+
+    def test_key_ignores_input_ids(self):
+        """Inputs are derived from the seed's stream, so the key need not
+        (and must not) depend on the array payload."""
+        a = FeatureTask(feature_id=1, input_ids=np.array([0]), seed=7)
+        b = FeatureTask(feature_id=1, input_ids=np.array([0, 2]), seed=7)
+        assert feature_task_key(a) == feature_task_key(b)
+
+    def test_key_is_hashable_and_picklable(self):
+        import pickle
+
+        key = feature_task_key(FeatureTask(feature_id=0, input_ids=np.array([1]), seed=5))
+        assert pickle.loads(pickle.dumps(key)) == key
+        assert len({key, key}) == 1
 
 
 def _run_task(x, schema, target=0, inputs=None, config=None):
@@ -117,6 +213,19 @@ class TestScoreContributions:
         assert contrib.shape == (4, 1)
         assert contrib[2, 0] == 0.0
         assert (contrib[[0, 1, 3], 0] != 0.0).all()
+
+    def test_all_nan_test_targets_contribute_all_zeros(self):
+        """Every test target missing -> the NS "otherwise: 0" branch for
+        every cell: contributions are exactly zero, never NaN."""
+        gen = np.random.default_rng(7)
+        x = gen.standard_normal((25, 3))
+        model, _ = _run_task(x, FeatureSchema.all_real(3))
+        x_test = gen.standard_normal((5, 3))
+        x_targets = np.full_like(x_test, np.nan)
+        contrib = score_contributions([model], x_test, x_targets)
+        assert contrib.shape == (5, 1)
+        np.testing.assert_array_equal(contrib, np.zeros((5, 1)))
+        assert not np.isnan(contrib).any()
 
     def test_anomalous_value_scores_higher(self):
         gen = np.random.default_rng(6)

@@ -24,6 +24,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tableX"])
 
+    def test_fault_tolerance_flag_defaults(self):
+        args = build_parser().parse_args(["fit"])
+        assert args.max_retries == 0
+        assert args.task_timeout is None
+        assert args.checkpoint == "" and args.resume is False
+        assert args.dataset == "breast.basal"
+        assert args.mode == "serial" and args.workers is None
+
+    def test_fault_tolerance_flag_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "fit",
+                "--max-retries", "3",
+                "--task-timeout", "12.5",
+                "--checkpoint", "run.journal",
+                "--resume",
+                "--mode", "process",
+                "--workers", "2",
+            ]
+        )
+        assert args.max_retries == 3 and args.task_timeout == 12.5
+        assert args.checkpoint == "run.journal" and args.resume
+        assert args.mode == "process" and args.workers == 2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "--mode", "gpu"])
+
 
 class TestMain:
     def test_datasets(self, capsys):
@@ -52,3 +80,49 @@ class TestMain:
         ) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out
+
+
+_FIT_ARGS = ["fit", "--scale", "0.02", "--samples", "0.5", "--seed", "9"]
+
+
+class TestFitCommand:
+    def test_fit_smoke(self, capsys):
+        assert main([*_FIT_ARGS, "--max-retries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted breast.basal" in out and "serial mode" in out
+
+    def test_fit_writes_detector(self, capsys, tmp_path):
+        out_path = tmp_path / "detector.pkl"
+        assert main([*_FIT_ARGS, "--output", str(out_path)]) == 0
+        assert out_path.exists()
+        assert f"detector written to {out_path}" in capsys.readouterr().out
+
+        from repro.persistence import load_detector
+
+        detector, metadata = load_detector(out_path)
+        assert detector.models_
+        assert metadata["dataset"] == "breast.basal"
+        assert metadata["seed"] == 9
+
+    def test_fit_checkpoint_then_resume(self, capsys, tmp_path):
+        journal = tmp_path / "fit.journal"
+        assert main([*_FIT_ARGS, "--checkpoint", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert "resumed 0 item(s)" in first
+        assert journal.exists()
+
+        assert main([*_FIT_ARGS, "--checkpoint", str(journal), "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "journaled 0 new" in second
+        assert "resumed 0" not in second  # everything came from the journal
+
+    def test_existing_checkpoint_without_resume_is_refused(self, capsys, tmp_path):
+        journal = tmp_path / "fit.journal"
+        journal.touch()
+        assert main([*_FIT_ARGS, "--checkpoint", str(journal)]) == 2
+        err = capsys.readouterr().err
+        assert "already exists" in err and "--resume" in err
+
+    def test_resume_without_checkpoint_is_refused(self, capsys):
+        assert main([*_FIT_ARGS, "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err

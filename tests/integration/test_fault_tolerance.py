@@ -1,0 +1,162 @@
+"""End-to-end fault tolerance: FRaC under crashes, retries, and resume.
+
+The acceptance bar for the fault-tolerant executor (ISSUE 2): under an
+injected crash of one process-mode worker mid-batch, ``fit`` completes
+with results identical to a clean serial run (minus explicitly skipped
+features), and a killed run resumed from the checkpoint journal re-executes
+zero completed items.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FRaC, FRaCConfig, load_replicates
+from repro.parallel import (
+    CheckpointJournal,
+    ExecutionConfig,
+    FaultPlan,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+@pytest.fixture(scope="module")
+def rep():
+    return load_replicates("breast.basal", scale=0.03, rng=5)[0]
+
+
+def _policy(**overrides):
+    defaults = dict(max_retries=2, backoff_base=0.001, backoff_max=0.01)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def _fit(rep, mode="serial", *, rng=33, fault_plan=None, checkpoint=None, policy=None):
+    cfg = FRaCConfig.fast(
+        execution=ExecutionConfig(mode=mode, n_workers=2, retry=policy)
+    )
+    frac = FRaC(cfg, rng=rng)
+    frac.fit(rep.x_train, rep.schema, fault_plan=fault_plan, checkpoint=checkpoint)
+    return frac
+
+
+class TestCrashRecovery:
+    def test_worker_crash_mid_batch_matches_clean_serial_run(self, rep):
+        """One process-mode worker dies mid-batch; the resubmitted chunk
+        completes and NS scores are bit-identical to a clean serial run."""
+        clean = _fit(rep, "serial")
+        crashed = _fit(
+            rep,
+            "process",
+            policy=_policy(),
+            fault_plan=FaultPlan.failing(7, attempts=[0], kind="crash"),
+        )
+        assert crashed.failure_report_ is not None and not crashed.failure_report_
+        np.testing.assert_array_equal(
+            clean.score(rep.x_test), crashed.score(rep.x_test)
+        )
+
+    def test_exhausted_feature_skipped_others_bit_identical(self, rep):
+        """A persistently failing item is dropped (the NS "otherwise: 0"
+        branch); every surviving feature's contribution is unchanged."""
+        clean = _fit(rep, "serial")
+        faulty = _fit(
+            rep,
+            "serial",
+            policy=_policy(max_retries=1),
+            fault_plan=FaultPlan.failing(4, attempts=[0, 1], kind="raise"),
+        )
+        assert faulty.n_failed_ == 1
+        assert len(faulty.models_) == len(clean.models_) - 1
+        dropped = {m.feature_id for m in clean.models_} - {
+            m.feature_id for m in faulty.models_
+        }
+        assert len(dropped) == 1
+
+        clean_contrib = clean.contributions(rep.x_test)
+        faulty_contrib = faulty.contributions(rep.x_test)
+        keep = np.isin(clean_contrib.feature_ids, faulty_contrib.feature_ids)
+        np.testing.assert_array_equal(
+            clean_contrib.values[:, keep], faulty_contrib.values
+        )
+        # The failure is a structured record, not a silent hole.
+        failure = faulty.failure_report_.failures[0]
+        assert failure.key[0] in dropped
+        assert failure.attempts == 2
+
+
+class TestCheckpointResume:
+    def test_resumed_fit_executes_zero_completed_items(self, rep, tmp_path):
+        path = tmp_path / "fit.journal"
+        with CheckpointJournal(path) as journal:
+            first = _fit(rep, "process", policy=_policy(), checkpoint=journal)
+            n_items = journal.appended
+            assert n_items > 0
+
+        # Resume with a plan that fails *every* item on *every* attempt:
+        # if anything were re-executed the fit would lose features (or
+        # raise under on_exhaustion="raise"), so identical scores prove
+        # zero re-executions.
+        poison = FaultPlan(
+            {(i, k): "raise" for i in range(n_items) for k in range(3)}
+        )
+        with CheckpointJournal(path) as journal:
+            resumed = _fit(
+                rep,
+                "serial",
+                policy=_policy(on_exhaustion="raise"),
+                checkpoint=journal,
+                fault_plan=poison,
+            )
+            assert journal.preloaded == n_items and journal.appended == 0
+        np.testing.assert_array_equal(
+            first.score(rep.x_test), resumed.score(rep.x_test)
+        )
+
+    def test_killed_fit_resumes_only_missing_items(self, rep, tmp_path):
+        """Simulate a mid-run kill: the first fit aborts partway (fail-fast
+        error), the journal keeps the completed prefix, and the resumed fit
+        matches a never-interrupted run exactly."""
+        path = tmp_path / "fit.journal"
+        with CheckpointJournal(path) as journal:
+            with pytest.raises(Exception):
+                _fit(
+                    rep,
+                    "serial",
+                    checkpoint=journal,
+                    fault_plan=FaultPlan.failing(11, attempts=[0]),
+                )
+            prefix = journal.appended
+            assert prefix > 0
+
+        with CheckpointJournal(path) as journal:
+            resumed = _fit(rep, "serial", checkpoint=journal, policy=_policy())
+            assert journal.preloaded == prefix
+            assert journal.appended > 0  # only the missing suffix ran
+
+        uninterrupted = _fit(rep, "serial")
+        np.testing.assert_array_equal(
+            uninterrupted.score(rep.x_test), resumed.score(rep.x_test)
+        )
+
+
+class TestCrossModeDeterminismUnderFaults:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_ns_scores_bit_identical_across_modes_under_retry(self, rep, mode):
+        """DESIGN.md §6 extended: injected mid-batch failure + retry must
+        not perturb end-to-end NS scores in any execution mode."""
+        reference = _fit(rep, "serial").score(rep.x_test)
+        plan = FaultPlan({(3, 0): "raise", (9, 0): "raise", (9, 1): "raise"})
+        scores = _fit(rep, mode, policy=_policy(), fault_plan=plan).score(rep.x_test)
+        np.testing.assert_array_equal(reference, scores)
+
+    def test_scores_identical_with_and_without_transient_faults(self, rep):
+        clean = _fit(rep, "process", policy=_policy()).score(rep.x_test)
+        faulted = _fit(
+            rep,
+            "process",
+            policy=_policy(),
+            fault_plan=FaultPlan.failing(2, attempts=[0], kind="crash"),
+        ).score(rep.x_test)
+        np.testing.assert_array_equal(clean, faulted)

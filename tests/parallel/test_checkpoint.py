@@ -1,0 +1,106 @@
+"""Tests for the append-only checkpoint journal."""
+
+import pickle
+
+import pytest
+
+from repro.parallel.checkpoint import FORMAT, CheckpointError, CheckpointJournal
+
+
+class TestJournalBasics:
+    def test_fresh_journal_is_empty(self, tmp_path):
+        with CheckpointJournal(tmp_path / "run.journal") as journal:
+            assert journal.entries() == {}
+            assert journal.preloaded == 0
+
+    def test_append_then_reload(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with CheckpointJournal(path) as journal:
+            journal.append(("f", 0, 123), {"value": 1})
+            journal.append(("f", 1, 456), {"value": 2})
+            assert journal.appended == 2
+        with CheckpointJournal(path) as journal:
+            assert journal.preloaded == 2
+            assert journal.entries() == {
+                ("f", 0, 123): {"value": 1},
+                ("f", 1, 456): {"value": 2},
+            }
+
+    def test_contains_and_len(self, tmp_path):
+        with CheckpointJournal(tmp_path / "run.journal") as journal:
+            journal.append("a", 1)
+            assert "a" in journal and "b" not in journal
+            assert len(journal) == 1
+
+    def test_duplicate_keys_last_write_wins(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with CheckpointJournal(path) as journal:
+            journal.append("k", "old")
+            journal.append("k", "new")
+        with CheckpointJournal(path) as journal:
+            assert journal.entries() == {"k": "new"}
+
+    def test_none_values_are_real_entries(self, tmp_path):
+        """The engine journals None for under-observed features; resume
+        must treat that as 'done', not 'missing'."""
+        path = tmp_path / "run.journal"
+        with CheckpointJournal(path) as journal:
+            journal.append("skipped-feature", None)
+        with CheckpointJournal(path) as journal:
+            assert "skipped-feature" in journal
+            assert journal.entries() == {"skipped-feature": None}
+
+    def test_lazy_open(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal")
+        journal.append("k", 1)  # no explicit open()
+        journal.close()
+        assert CheckpointJournal(tmp_path / "run.journal").entries() == {"k": 1}
+
+
+class TestCrashSafety:
+    def test_torn_tail_is_dropped_and_append_continues(self, tmp_path):
+        path = tmp_path / "run.journal"
+        with CheckpointJournal(path) as journal:
+            journal.append("a", 1)
+            journal.append("b", 2)
+        # Simulate a kill mid-append: a half-written final record.
+        intact = path.read_bytes()
+        path.write_bytes(intact + pickle.dumps(("c", 3))[:-4])
+        with CheckpointJournal(path) as journal:
+            assert journal.entries() == {"a": 1, "b": 2}
+            journal.append("c", 3)  # appends cleanly over the truncated tail
+        with CheckpointJournal(path) as journal:
+            assert journal.entries() == {"a": 1, "b": 2, "c": 3}
+
+    def test_empty_file_treated_as_fresh(self, tmp_path):
+        path = tmp_path / "run.journal"
+        path.touch()
+        with CheckpointJournal(path) as journal:
+            assert journal.entries() == {}
+            journal.append("k", 1)
+        assert CheckpointJournal(path).entries() == {"k": 1}
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-journal"
+        path.write_bytes(b"just some text, definitely not pickle")
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(path).entries()
+
+    def test_wrong_format_tag_rejected(self, tmp_path):
+        path = tmp_path / "old.journal"
+        with path.open("wb") as fh:
+            pickle.dump(("__repro_checkpoint__", "repro-checkpoint-v999"), fh)
+        with pytest.raises(CheckpointError, match="repro-checkpoint-v999"):
+            CheckpointJournal(path).entries()
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "foreign.journal"
+        with path.open("wb") as fh:
+            pickle.dump({"some": "dict"}, fh)
+        with pytest.raises(CheckpointError, match="missing header"):
+            CheckpointJournal(path).entries()
+
+    def test_format_tag_is_stable(self):
+        # The on-disk tag is a compatibility promise; changing it silently
+        # would orphan every existing journal.
+        assert FORMAT == "repro-checkpoint-v1"
