@@ -1,12 +1,15 @@
-"""General-hygiene checkers (FRL006, FRL007, FRL008).
+"""General-hygiene checkers (FRL006, FRL007, FRL008, FRL009).
 
-Three classic Python footguns that are especially costly in this codebase:
+Classic Python footguns that are especially costly in this codebase:
 mutable defaults alias state across the thousands of per-feature work
 items the engine creates; wall-clock reads make results and resource
 accounting machine-dependent (DESIGN.md §7 mandates the analytic memory
 model and ``process_time`` fractions, confined to the profiling module);
-and ``assert`` statements vanish under ``python -O``, so library
-invariants guarded by them are not guarded at all.
+``assert`` statements vanish under ``python -O``, so library invariants
+guarded by them are not guarded at all; and ad-hoc ``print()`` /
+``sys.stderr.write`` calls bypass the logging and telemetry channels,
+corrupting the CLI's stdout contract and the progress sink's repainted
+stderr line.
 """
 
 from __future__ import annotations
@@ -125,6 +128,60 @@ class WallClockChecker(Checker):
                     node,
                     f"clock read {resolved}() outside the profiling layer; "
                     f"results must not depend on wall time (DESIGN.md §6-§7)",
+                )
+
+
+#: Direct-output calls FRL009 forbids in library code.
+_OUTPUT_CALLS = {
+    "print",
+    "sys.stderr.write",
+    "sys.stdout.write",
+    "sys.stderr.writelines",
+    "sys.stdout.writelines",
+}
+
+#: Where direct output *is* the job: the CLI renders artifacts to stdout,
+#: ``__main__`` entry points print usage, and the telemetry sinks own the
+#: stderr progress line. Everything else goes through repro.utils.logging
+#: or emits telemetry events.
+_OUTPUT_ALLOWED_SUFFIXES = ("repro/cli.py",)
+_OUTPUT_ALLOWED_PARTS = ("repro/telemetry/",)
+
+
+@register
+class DirectOutputChecker(Checker):
+    """FRL009: no ``print()`` / bare stream writes in library code."""
+
+    rule = "FRL009"
+    name = "direct-output"
+    description = (
+        "print() and sys.stdout/stderr.write in library code corrupt the "
+        "CLI's stdout contract and the progress sink's repainted stderr "
+        "line; use repro.utils.logging or emit a telemetry event. Direct "
+        "output is allowed only in repro/cli.py, __main__ entry points, "
+        "and the telemetry sinks."
+    )
+    library_only = True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        posix = ctx.path.as_posix()
+        if any(posix.endswith(suffix) for suffix in _OUTPUT_ALLOWED_SUFFIXES):
+            return
+        if posix.endswith("__main__.py"):
+            return
+        if any(part in posix for part in _OUTPUT_ALLOWED_PARTS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _OUTPUT_CALLS:
+                yield ctx.violation(
+                    self.rule,
+                    node,
+                    f"direct output call {resolved}() outside the CLI and "
+                    f"telemetry sinks; route messages through "
+                    f"repro.utils.logging or a telemetry event",
                 )
 
 

@@ -22,6 +22,13 @@ engine run (failed features are skipped and reported instead of aborting
 the run); ``fit`` additionally streams completed feature models to a
 ``--checkpoint`` journal, and ``--resume`` restarts a killed run from it,
 re-executing only the missing items (docs/scaling.md, "Fault tolerance").
+
+Observability: ``--trace run.jsonl`` records the run's full telemetry
+stream to a kill-tolerant JSONL trace, ``--progress`` paints a throttled
+one-line progress display on stderr, and ``python -m repro trace
+run.jsonl`` summarizes a recorded trace (slowest features, per-phase
+breakdown, retry/timeout/crash accounting, checkpoint reuse). See
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -205,14 +212,35 @@ def _cmd_fit(args: argparse.Namespace) -> str:
         lines.append(report.summary())
     if args.output:
         save_detector(detector, args.output, schema=rep.schema,
-                      metadata={"dataset": args.dataset, "seed": args.seed})
+                      metadata={"dataset": args.dataset, "seed": args.seed,
+                                "settings": settings.to_metadata()})
         lines.append(f"detector written to {args.output}")
     return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    """Summarize a recorded telemetry trace (docs/observability.md)."""
+    from repro.telemetry.trace import read_trace, render_trace_summary, summarize_trace
+    from repro.utils.exceptions import ReproError
+
+    if not args.path:
+        raise ReproError(
+            "trace requires a trace file: python -m repro trace run.jsonl"
+        )
+    result = read_trace(args.path)
+    if result.errors:
+        detail = "; ".join(result.errors[:5])
+        raise ReproError(
+            f"{args.path}: {len(result.errors)} undecodable mid-file line(s) "
+            f"({detail}) — the file is corrupt beyond a torn tail"
+        )
+    return render_trace_summary(summarize_trace(result))
 
 
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "fit": _cmd_fit,
+    "trace": _cmd_trace,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -231,6 +259,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate artifacts of 'Scalable FRaC Variants' (IPPS 2017).",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS), help="artifact to regenerate")
+    parser.add_argument("path", nargs="?", default="",
+                        help="trace file to summarize (trace command only)")
     from repro.experiments.settings import DEFAULT_BENCH_SCALE
 
     parser.add_argument("--scale", type=float, default=DEFAULT_BENCH_SCALE,
@@ -262,6 +292,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fit: resume from an existing --checkpoint "
                             "journal, re-running only missing items")
 
+    obs = parser.add_argument_group("observability (docs/observability.md)")
+    obs.add_argument("--trace", default="", metavar="PATH",
+                     help="record the run's telemetry stream to this JSONL "
+                          "trace file (inspect with: python -m repro trace PATH)")
+    obs.add_argument("--progress", action="store_true",
+                     help="paint a throttled one-line progress display on stderr")
+
     fit = parser.add_argument_group("fit command")
     fit.add_argument("--dataset", default="breast.basal",
                      help="compendium data set to fit (default breast.basal)")
@@ -273,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    from repro.telemetry import runtime as telemetry_runtime
     from repro.utils.exceptions import ReproError
 
     args = build_parser().parse_args(argv)
@@ -280,11 +318,21 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.utils.logging import enable_console_logging
 
         enable_console_logging()
+    configured = None
+    if args.trace or args.progress:
+        configured = telemetry_runtime.configure(
+            trace_path=args.trace or None, progress=args.progress
+        )
     try:
         print(_COMMANDS[args.command](args))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Only tear down a bus this invocation installed; an ambient bus
+        # configured by an embedding harness stays live.
+        if configured is not None:
+            telemetry_runtime.shutdown()
     return 0
 
 

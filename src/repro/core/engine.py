@@ -34,6 +34,8 @@ from repro.learners.registry import learner_accepts_param, make_learner
 from repro.parallel.executor import get_shared
 from repro.parallel.profiling import cpu_seconds
 from repro.parallel.resources import TaskCost, design_matrix_bytes, training_work_units
+from repro.telemetry.events import FoldTrained
+from repro.telemetry.runtime import get_bus
 from repro.utils.exceptions import DataError
 
 
@@ -138,12 +140,24 @@ def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None
         entropy = GaussianKDE().fit(y).entropy()
 
     # Cross-validation pass: gather holdout (prediction, truth) pairs.
+    # Fold events are worker-side: visible in serial/thread modes, muted in
+    # forked process workers (whose bus is dropped; see executor._init_worker).
+    bus = get_bus()
     preds = np.empty(len(rows))
     folds = kfold_indices(len(rows), cfg.n_folds, rng)
-    for train_idx, holdout_idx in folds:
+    for fold, (train_idx, holdout_idx) in enumerate(folds):
         model = make()
         model.fit(x_in[train_idx], y[train_idx])
         preds[holdout_idx] = model.predict(x_in[holdout_idx])
+        if bus is not None:
+            bus.emit(
+                FoldTrained(
+                    feature_id=int(task.feature_id),
+                    slot=int(task.slot),
+                    fold=fold,
+                    n_folds=len(folds),
+                )
+            )
     error_model.fit(preds, y)
     cv_mean_surprisal = float(error_model.surprisal(preds, y).mean())
 

@@ -22,6 +22,7 @@ from repro.core.types import AnomalyDetector, ContributionMatrix
 from repro.data.schema import FeatureSchema
 from repro.parallel.faults import FailureReport
 from repro.parallel.resources import ResourceReport
+from repro.telemetry.spans import span
 from repro.utils.exceptions import DataError, NotFittedError
 from repro.utils.rng import spawn_seeds
 from repro.utils.validation import check_2d
@@ -91,8 +92,9 @@ class FRaCEnsemble(AnomalyDetector):
         members = []
         report = FailureReport()
         for i, seed in enumerate(seeds):
-            member = self.member_factory(i, seed)
-            member.fit(x_train, schema)
+            with span(f"ensemble.member[{i}]"):
+                member = self.member_factory(i, seed)
+                member.fit(x_train, schema)
             members.append(member)
             member_report = getattr(member, "failure_report_", None)
             if member_report is not None:

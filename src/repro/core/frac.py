@@ -34,6 +34,9 @@ from repro.data.schema import FeatureSchema
 from repro.parallel.executor import run_tasks
 from repro.parallel.faults import FailureReport, FaultPlan
 from repro.parallel.resources import ResourceLog, ResourceReport, design_matrix_bytes
+from repro.telemetry.events import RunFinished, RunStarted, ScoreComputed
+from repro.telemetry.runtime import get_bus
+from repro.telemetry.spans import span
 from repro.utils.exceptions import DataError, NotFittedError
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn_seeds
@@ -191,28 +194,30 @@ class FRaC(AnomalyDetector):
         )
 
         with log.measure_overhead():
-            self._pre = Preprocessor(schema, standardize=self.config.standardize).fit(x_train)
-            x_imputed = self._pre.transform(x_train)
-            x_targets = self._pre.transform_keep_missing(x_train)
+            with span("fit.preprocess"):
+                self._pre = Preprocessor(schema, standardize=self.config.standardize).fit(x_train)
+                x_imputed = self._pre.transform(x_train)
+                x_targets = self._pre.transform_keep_missing(x_train)
 
-            seeds = spawn_seeds(self._rng, len(targets) * self.config.n_predictors)
-            tasks = []
-            k = 0
-            for target in targets:
-                for slot in range(self.config.n_predictors):
-                    gen = np.random.default_rng(seeds[k])
-                    inputs = np.asarray(selector(int(target), slot, gen), dtype=np.intp)
-                    if len(inputs) and (inputs.min() < 0 or inputs.max() >= n_features):
-                        raise DataError("input selector returned out-of-range ids")
-                    tasks.append(
-                        FeatureTask(
-                            feature_id=int(target),
-                            input_ids=inputs,
-                            seed=int(gen.integers(0, 2**31 - 1)),
-                            slot=slot,
+            with span("fit.build_tasks"):
+                seeds = spawn_seeds(self._rng, len(targets) * self.config.n_predictors)
+                tasks = []
+                k = 0
+                for target in targets:
+                    for slot in range(self.config.n_predictors):
+                        gen = np.random.default_rng(seeds[k])
+                        inputs = np.asarray(selector(int(target), slot, gen), dtype=np.intp)
+                        if len(inputs) and (inputs.min() < 0 or inputs.max() >= n_features):
+                            raise DataError("input selector returned out-of-range ids")
+                        tasks.append(
+                            FeatureTask(
+                                feature_id=int(target),
+                                input_ids=inputs,
+                                seed=int(gen.integers(0, 2**31 - 1)),
+                                slot=slot,
+                            )
                         )
-                    )
-                    k += 1
+                        k += 1
 
         shared = SharedTrainState(
             x_imputed=x_imputed,
@@ -228,26 +233,53 @@ class FRaC(AnomalyDetector):
             self.config.execution.effective_workers,
         )
         failures = FailureReport()
+        bus = get_bus()
+        if bus is not None:
+            bus.emit(
+                RunStarted(
+                    kind="frac.fit",
+                    n_tasks=len(tasks),
+                    n_samples=int(x_train.shape[0]),
+                    mode=self.config.execution.mode,
+                    n_workers=self.config.execution.effective_workers,
+                )
+            )
         resilient = (
             self.config.execution.retry is not None
             or checkpoint is not None
             or fault_plan is not None
         )
-        if resilient:
-            results = run_tasks(
-                run_feature_task,
-                tasks,
-                shared=shared,
-                config=self.config.execution,
-                checkpoint=checkpoint,
-                task_key=feature_task_key,
-                fault_plan=fault_plan,
-                failures=failures,
-            )
-        else:
-            results = run_tasks(
-                run_feature_task, tasks, shared=shared, config=self.config.execution
-            )
+        try:
+            with span("fit.train"):
+                if resilient:
+                    results = run_tasks(
+                        run_feature_task,
+                        tasks,
+                        shared=shared,
+                        config=self.config.execution,
+                        checkpoint=checkpoint,
+                        task_key=feature_task_key,
+                        fault_plan=fault_plan,
+                        failures=failures,
+                    )
+                else:
+                    results = run_tasks(
+                        run_feature_task,
+                        tasks,
+                        shared=shared,
+                        config=self.config.execution,
+                        task_key=feature_task_key,
+                    )
+        except Exception:
+            if bus is not None:
+                bus.emit(
+                    RunFinished(
+                        kind="frac.fit",
+                        status="error",
+                        failure_report=failures.to_dict(),
+                    )
+                )
+            raise
 
         models: list[FeatureModel] = []
         self.n_skipped_ = 0
@@ -268,6 +300,16 @@ class FRaC(AnomalyDetector):
                 failures.summary(),
             )
         if not models:
+            if bus is not None:
+                bus.emit(
+                    RunFinished(
+                        kind="frac.fit",
+                        status="error",
+                        n_skipped=self.n_skipped_,
+                        n_failed=self.n_failed_,
+                        failure_report=failures.to_dict(),
+                    )
+                )
             raise DataError(
                 "no feature supported a model (all columns below min_observed)"
             )
@@ -282,6 +324,20 @@ class FRaC(AnomalyDetector):
             report.cpu_seconds,
             report.memory_bytes / 1e6,
         )
+        if bus is not None:
+            bus.emit(
+                RunFinished(
+                    kind="frac.fit",
+                    status="ok",
+                    n_models=len(models),
+                    n_skipped=self.n_skipped_,
+                    n_failed=self.n_failed_,
+                    failure_report=failures.to_dict(),
+                    metrics=(
+                        bus.metrics.snapshot() if bus.metrics is not None else None
+                    ),
+                )
+            )
         return self
 
     # -- scoring -------------------------------------------------------------
@@ -290,10 +346,15 @@ class FRaC(AnomalyDetector):
         if self.models_ is None:
             raise NotFittedError("FRaC is not fitted; call fit() first")
         x_test = check_2d(x_test, "x_test")
-        with self._log.measure_overhead():
+        with self._log.measure_overhead(), span("score.contributions"):
             x_imputed = self._pre.transform(x_test)
             x_targets = self._pre.transform_keep_missing(x_test)
             values = score_contributions(self.models_, x_imputed, x_targets)
+        bus = get_bus()
+        if bus is not None:
+            bus.emit(
+                ScoreComputed(n_samples=int(values.shape[0]), n_models=len(self.models_))
+            )
         return ContributionMatrix(
             values=values,
             feature_ids=np.array([m.feature_id for m in self.models_], dtype=np.intp),

@@ -21,6 +21,8 @@ from repro.data.schema import FeatureSchema
 from repro.parallel.profiling import cpu_seconds
 from repro.parallel.resources import ResourceReport
 from repro.projection.jl import JLTransform
+from repro.telemetry.runtime import get_bus
+from repro.telemetry.spans import span
 from repro.projection.onehot import OneHotEncoder
 from repro.utils.exceptions import NotFittedError
 from repro.utils.rng import spawn_seeds
@@ -63,11 +65,17 @@ class JLFRaC(AnomalyDetector):
 
     def _project(self, x: np.ndarray) -> np.ndarray:
         start = cpu_seconds()
-        encoded = self._encoder.transform(self._pre.transform(x))
-        out = self.projection_.transform(encoded)
+        with span("jl.project"):
+            encoded = self._encoder.transform(self._pre.transform(x))
+            out = self.projection_.transform(encoded)
         self._projection_cpu += cpu_seconds() - start
         # One matrix multiply: n x d_onehot x k multiply-adds.
-        self._projection_work += x.shape[0] * self._encoder.width * self.n_components
+        work = x.shape[0] * self._encoder.width * self.n_components
+        self._projection_work += work
+        bus = get_bus()
+        if bus is not None:
+            bus.metrics.counter("jl.projections").inc()
+            bus.metrics.counter("jl.work_units").inc(work)
         return out
 
     def fit(self, x_train: np.ndarray, schema: FeatureSchema) -> "JLFRaC":

@@ -133,6 +133,39 @@ class StudySettings:
         """A paper JL dimension (1024/2048/4096) scaled to this study."""
         return max(4, int(round(self.jl_components * paper_dim / 1024.0)))
 
+    def to_metadata(self) -> dict:
+        """JSON-safe digest of the study geometry for run records.
+
+        Embedded in ``RunStarted.meta`` by the experiment runners and in
+        persisted-artifact metadata, so a trace file or pickle records
+        which scaling regime produced it. Engine configs are reduced to
+        their learner names — the full objects live in the artifact
+        itself; this digest is for telemetry and provenance lines.
+        """
+        return {
+            "scale": float(self.scale),
+            "sample_scale": float(self.sample_scale),
+            "n_replicates": int(self.n_replicates),
+            "filter_p": float(self.filter_p),
+            "n_members": int(self.n_members),
+            "diverse_p": float(self.diverse_p),
+            "diverse_ensemble_p": float(self.diverse_ensemble_p),
+            "jl_components": int(self.jl_components),
+            "expression_learners": [
+                self.expression_config.regressor,
+                self.expression_config.classifier,
+            ],
+            "snp_learners": [
+                self.snp_config.regressor,
+                self.snp_config.classifier,
+            ],
+            "max_retries": int(self.max_retries),
+            "task_timeout": (
+                None if self.task_timeout is None else float(self.task_timeout)
+            ),
+            "seed": int(self.seed),
+        }
+
 
 def default_study(**overrides) -> StudySettings:
     """Bench-scale settings (what the shipped benchmarks run)."""

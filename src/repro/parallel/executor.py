@@ -59,6 +59,16 @@ from repro.parallel.faults import (
     TaskTimeoutError,
     WorkerCrashError,
 )
+from repro.telemetry.events import (
+    CheckpointHit,
+    CheckpointMiss,
+    FeatureTaskFinished,
+    FeatureTaskStarted,
+    RetryScheduled,
+    TaskTimedOut,
+    WorkerCrashDetected,
+)
+from repro.telemetry.runtime import get_bus, on_worker_start
 from repro.utils.exceptions import ReproError
 from repro.utils.logging import get_logger
 
@@ -172,7 +182,7 @@ def run_tasks(
     if not items:
         return []
     if not resilient:
-        return _run_fast(fn, items, shared, config)
+        return _run_fast(fn, items, shared, config, task_key)
     outcomes = _run_resilient(
         fn, items, shared, config, checkpoint, task_key, fault_plan, failures
     )
@@ -182,13 +192,60 @@ def run_tasks(
 # -- legacy fail-fast path ---------------------------------------------------
 
 
+def _init_worker(shared: Any) -> None:
+    """Initializer for forked process workers.
+
+    Drops the telemetry bus inherited through fork *before* installing the
+    shared state: the parent's sinks (an open JSONL handle, a stderr
+    progress line) must not receive interleaved writes from children. The
+    parent observes workers through the task-lifecycle events it emits
+    itself. Serial/thread modes keep telemetry live (``_init_shared`` runs
+    in the parent process there).
+    """
+    on_worker_start()
+    _init_shared(shared)
+
+
+def _traced_call(fn: Callable[[T], R], bus: Any, index: int, key: Any, item: T) -> R:
+    """Fast-path unit with task-lifecycle events (serial/thread modes)."""
+    bus.emit(FeatureTaskStarted(index=index, attempt=0, key=key))
+    w0 = profiling.wall_seconds()
+    value = fn(item)
+    bus.emit(
+        FeatureTaskFinished(
+            index=index,
+            status="ok",
+            attempts=1,
+            key=key,
+            duration_s=profiling.wall_seconds() - w0,
+        )
+    )
+    return value
+
+
 def _run_fast(
-    fn: Callable[[T], R], items: list[T], shared: Any, config: ExecutionConfig
+    fn: Callable[[T], R],
+    items: list[T],
+    shared: Any,
+    config: ExecutionConfig,
+    task_key: "Callable[[T], Any] | None" = None,
 ) -> list[R]:
+    bus = get_bus()
+    keys: "list[Any] | None" = None
+    if bus is not None and task_key is not None:
+        keys = [task_key(item) for item in items]
+
+    def _key(i: int) -> Any:
+        return None if keys is None else keys[i]
+
     if config.mode == "serial":
         _init_shared(shared)
         try:
-            return [fn(item) for item in items]
+            if bus is None:
+                return [fn(item) for item in items]
+            return [
+                _traced_call(fn, bus, i, _key(i), item) for i, item in enumerate(items)
+            ]
         finally:
             _init_shared(None)
 
@@ -196,7 +253,13 @@ def _run_fast(
         _init_shared(shared)
         try:
             with ThreadPoolExecutor(max_workers=config.effective_workers) as pool:
-                return list(pool.map(fn, items))
+                if bus is None:
+                    return list(pool.map(fn, items))
+                futures = [
+                    pool.submit(_traced_call, fn, bus, i, _key(i), item)
+                    for i, item in enumerate(items)
+                ]
+                return [fut.result() for fut in futures]
         finally:
             _init_shared(None)
 
@@ -208,10 +271,24 @@ def _run_fast(
     with ProcessPoolExecutor(
         max_workers=n_workers,
         mp_context=ctx,
-        initializer=_init_shared,
+        initializer=_init_worker,
         initargs=(shared,),
     ) as pool:
-        return list(pool.map(fn, items, chunksize=chunk))
+        if bus is None:
+            return list(pool.map(fn, items, chunksize=chunk))
+        # Chunked map cannot attribute per-item time; emit the lifecycle
+        # parent-side (dispatch batch up front, completion in map order).
+        for i in range(len(items)):
+            bus.emit(FeatureTaskStarted(index=i, attempt=0, key=_key(i)))
+        out: list[R] = []
+        for i, value in enumerate(pool.map(fn, items, chunksize=chunk)):
+            bus.emit(
+                FeatureTaskFinished(
+                    index=i, status="ok", attempts=1, key=_key(i), duration_s=None
+                )
+            )
+            out.append(value)
+        return out
 
 
 # -- resilient path ----------------------------------------------------------
@@ -246,19 +323,38 @@ class _Scheduler:
         self.checkpoint = checkpoint
         self.failures = failures if failures is not None else FailureReport()
         self.outcomes: "list[TaskOutcome | None]" = [None] * n
+        self.bus = get_bus()
 
     def key_for(self, index: int) -> Any:
         return None if self.keys is None else self.keys[index]
 
     def record_cached(self, index: int, value: Any) -> None:
         self.outcomes[index] = TaskOutcome(index=index, status="cached", value=value)
+        if self.bus is not None:
+            key = self.key_for(index)
+            self.bus.emit(CheckpointHit(index=index, key=key))
+            self.bus.emit(
+                FeatureTaskFinished(index=index, status="cached", attempts=0, key=key)
+            )
 
-    def record_ok(self, index: int, attempts: int, value: Any) -> None:
+    def record_ok(
+        self, index: int, attempts: int, value: Any, duration_s: "float | None" = None
+    ) -> None:
         self.outcomes[index] = TaskOutcome(
             index=index, status="ok", value=value, attempts=attempts
         )
         if self.checkpoint is not None:
             self.checkpoint.append(self.key_for(index), value)
+        if self.bus is not None:
+            self.bus.emit(
+                FeatureTaskFinished(
+                    index=index,
+                    status="ok",
+                    attempts=attempts,
+                    key=self.key_for(index),
+                    duration_s=duration_s,
+                )
+            )
 
     def record_exhausted(
         self, index: int, attempts: int, kind: str, exc: BaseException
@@ -286,6 +382,16 @@ class _Scheduler:
         self.outcomes[index] = TaskOutcome(
             index=index, status="skipped", attempts=attempts, failure=failure
         )
+        if self.bus is not None:
+            self.bus.emit(
+                FeatureTaskFinished(
+                    index=index,
+                    status="skipped",
+                    attempts=attempts,
+                    key=self.key_for(index),
+                    kind=kind,
+                )
+            )
         _log.warning(
             "task %d skipped after %d attempt(s) (%s): %s",
             index,
@@ -326,6 +432,8 @@ def _run_resilient(
             if key in completed:
                 sched.record_cached(i, completed[key])
             else:
+                if sched.bus is not None:
+                    sched.bus.emit(CheckpointMiss(index=i, key=key))
                 pending.append((i, 0))
         if len(pending) < len(items):
             _log.info(
@@ -359,10 +467,18 @@ def _run_resilient_serial(
     pending: list[tuple[int, int]],
 ) -> None:
     policy = sched.policy
+    bus = sched.bus
     _init_shared(shared)
     try:
         for index, attempt in pending:
             while True:
+                if bus is not None:
+                    bus.emit(
+                        FeatureTaskStarted(
+                            index=index, attempt=attempt, key=sched.key_for(index)
+                        )
+                    )
+                w0 = profiling.wall_seconds() if bus is not None else 0.0
                 try:
                     value = _apply(fn, fault_plan, index, attempt, items[index])
                 except Exception as exc:
@@ -370,9 +486,22 @@ def _run_resilient_serial(
                     if attempt > policy.max_retries:
                         sched.record_exhausted(index, attempt, "exception", exc)
                         break
-                    profiling.sleep_seconds(policy.backoff_seconds(attempt))
+                    backoff = policy.backoff_seconds(attempt)
+                    if bus is not None:
+                        bus.emit(
+                            RetryScheduled(
+                                index=index,
+                                attempt=attempt,
+                                kind="exception",
+                                backoff_s=backoff,
+                            )
+                        )
+                    profiling.sleep_seconds(backoff)
                 else:
-                    sched.record_ok(index, attempt + 1, value)
+                    duration = (
+                        profiling.wall_seconds() - w0 if bus is not None else None
+                    )
+                    sched.record_ok(index, attempt + 1, value, duration)
                     break
     finally:
         _init_shared(None)
@@ -385,7 +514,7 @@ def _make_pool(mode: str, n_workers: int, shared: Any):
     return ProcessPoolExecutor(
         max_workers=n_workers,
         mp_context=ctx,
-        initializer=_init_shared,
+        initializer=_init_worker,
         initargs=(shared,),
     )
 
@@ -417,11 +546,28 @@ def _charge(
     exc: BaseException,
 ) -> None:
     """Charge one attempt to an item: requeue it, or exhaust its budget."""
+    if sched.bus is not None and kind == "timeout":
+        sched.bus.emit(
+            TaskTimedOut(
+                index=index,
+                attempt=attempts_used,
+                timeout_s=sched.policy.task_timeout,
+            )
+        )
     if attempts_used > sched.policy.max_retries:
         sched.record_exhausted(index, attempts_used, kind, exc)
     else:
         queue.append((index, attempts_used))
         retry_attempts.append(attempts_used)
+        if sched.bus is not None:
+            sched.bus.emit(
+                RetryScheduled(
+                    index=index,
+                    attempt=attempts_used,
+                    kind=kind,
+                    backoff_s=sched.policy.backoff_seconds(attempts_used),
+                )
+            )
 
 
 def _run_resilient_pool(
@@ -483,11 +629,13 @@ def _wide_wave(
     return ``True``, asking the caller to run an isolation probe next.
     """
     policy = sched.policy
+    bus = sched.bus
     pool = _make_pool(config.mode, config.effective_workers, shared)
     batch = list(queue)
     queue.clear()
     broken = False
     crashed = False
+    submitted_at: dict[int, float] = {}
     try:
         futures: "list[tuple[int, int, Future | None]]" = []
         for index, attempt in batch:
@@ -503,7 +651,18 @@ def _wide_wave(
                 broken = crashed = True
                 futures.append((index, attempt, None))
             else:
+                if bus is not None:
+                    bus.emit(
+                        FeatureTaskStarted(
+                            index=index, attempt=attempt, key=sched.key_for(index)
+                        )
+                    )
+                    submitted_at[index] = profiling.wall_seconds()
                 futures.append((index, attempt, fut))
+
+        def _elapsed(index: int) -> "float | None":
+            t0 = submitted_at.get(index)
+            return None if t0 is None else profiling.wall_seconds() - t0
 
         for index, attempt, fut in futures:
             if fut is None:
@@ -514,7 +673,7 @@ def _wide_wave(
                 # before the break, requeue the rest at an unchanged attempt
                 # count (none of them is known to be at fault).
                 if fut.done() and not fut.cancelled() and fut.exception() is None:
-                    sched.record_ok(index, attempt + 1, fut.result())
+                    sched.record_ok(index, attempt + 1, fut.result(), _elapsed(index))
                 else:
                     fut.cancel()
                     exc = fut.exception() if fut.done() and not fut.cancelled() else None
@@ -538,7 +697,15 @@ def _wide_wave(
             except Exception as exc:
                 _charge(sched, queue, retry_attempts, index, attempt + 1, "exception", exc)
             else:
-                sched.record_ok(index, attempt + 1, value)
+                sched.record_ok(index, attempt + 1, value, _elapsed(index))
+        if crashed and bus is not None:
+            # One event per broken wave, emitted after the harvest settles so
+            # the requeue count is exact. The phase is always "wave" whether
+            # the break surfaced during submission or harvest — which of the
+            # two saw it first is a scheduling race, not a run property.
+            bus.emit(
+                WorkerCrashDetected(phase="wave", index=None, n_requeued=len(queue))
+            )
     finally:
         _teardown_pool(pool, broken)
     return crashed
@@ -563,6 +730,7 @@ def _isolation_probe(
     dry without crashing has simply finished the batch.
     """
     policy = sched.policy
+    bus = sched.bus
     batch = list(queue)
     queue.clear()
     pool = _make_pool(config.mode, 1, shared)
@@ -576,6 +744,13 @@ def _isolation_probe(
                 _log.warning("isolation pool broke at submission: %s", exc)
                 queue.extend(batch[pos:])
                 return
+            if bus is not None:
+                bus.emit(
+                    FeatureTaskStarted(
+                        index=index, attempt=attempt, key=sched.key_for(index)
+                    )
+                )
+            w0 = profiling.wall_seconds() if bus is not None else 0.0
             try:
                 value = fut.result(timeout=policy.task_timeout)
             except FuturesTimeoutError as exc:
@@ -585,12 +760,22 @@ def _isolation_probe(
                 return
             except BrokenExecutor as exc:
                 broken = True
+                if bus is not None:
+                    # One item in flight: the crash is attributable exactly.
+                    bus.emit(
+                        WorkerCrashDetected(
+                            phase="probe",
+                            index=index,
+                            n_requeued=len(batch) - pos - 1,
+                        )
+                    )
                 _charge(sched, queue, retry_attempts, index, attempt + 1, "crash", exc)
                 queue.extend(batch[pos + 1 :])
                 return
             except Exception as exc:
                 _charge(sched, queue, retry_attempts, index, attempt + 1, "exception", exc)
             else:
-                sched.record_ok(index, attempt + 1, value)
+                duration = profiling.wall_seconds() - w0 if bus is not None else None
+                sched.record_ok(index, attempt + 1, value, duration)
     finally:
         _teardown_pool(pool, broken)

@@ -132,6 +132,39 @@ class TaskFailure:
             "attempts": self.attempts,
         }
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload that :meth:`from_dict` restores exactly.
+
+        Tuple keys (the engine's ``(feature_id, slot, seed)``) are tagged
+        so the round-trip through JSON — which has no tuple type — comes
+        back as a tuple, keeping restored failures comparable to live ones.
+        """
+        key = self.key
+        if isinstance(key, tuple):
+            key = {"__tuple__": [int(v) if hasattr(v, "item") else v for v in key]}
+        return {
+            "index": int(self.index),
+            "key": key,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": int(self.attempts),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TaskFailure":
+        key = payload.get("key")
+        if isinstance(key, Mapping) and "__tuple__" in key:
+            key = tuple(key["__tuple__"])
+        elif isinstance(key, list):
+            key = tuple(key)
+        return cls(
+            index=int(payload["index"]),
+            key=key,
+            kind=str(payload["kind"]),
+            message=str(payload.get("message", "")),
+            attempts=int(payload.get("attempts", 0)),
+        )
+
 
 @dataclass(frozen=True)
 class TaskOutcome:
@@ -181,6 +214,25 @@ class FailureReport:
 
     def as_dict(self) -> dict:
         return {"n_failures": len(self.failures), "failures": [f.as_dict() for f in self.failures]}
+
+    def to_dict(self) -> dict:
+        """JSON-safe round-trip form (see :meth:`TaskFailure.to_dict`).
+
+        This is the payload embedded in the terminal ``RunFinished``
+        telemetry event, so a trace file alone reconstructs what failed
+        and why.
+        """
+        return {
+            "n_failures": len(self.failures),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FailureReport":
+        report = cls()
+        for entry in payload.get("failures", []):
+            report.record(TaskFailure.from_dict(entry))
+        return report
 
     def summary(self) -> str:
         if not self.failures:

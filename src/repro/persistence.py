@@ -20,6 +20,7 @@ from pathlib import Path
 
 import repro
 from repro.data.schema import FeatureSchema
+from repro.telemetry.runtime import get_bus
 from repro.utils.exceptions import ReproError
 
 FORMAT = "repro-detector-v1"
@@ -54,12 +55,21 @@ def save_detector(
     serializable summary is stored in the envelope metadata under
     ``"failure_report"`` — a scored artifact must disclose which features
     its NS sums are silently missing.
+
+    When telemetry is on (an ambient bus is configured; see
+    :mod:`repro.telemetry`), the bus's trace metadata — trace file path,
+    event counts, aggregated metrics — is embedded under ``"telemetry"``,
+    so a persisted artifact points back at the trace of the run that
+    produced it.
     """
     path = Path(path)
     metadata = dict(metadata or {})
     report = getattr(detector, "failure_report_", None)
     if report is not None and len(report) and "failure_report" not in metadata:
         metadata["failure_report"] = report.as_dict()
+    bus = get_bus()
+    if bus is not None and "telemetry" not in metadata:
+        metadata["telemetry"] = bus.trace_metadata()
     envelope = {
         "format": FORMAT,
         "version": repro.__version__,

@@ -1,0 +1,195 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the *aggregated* view of a run (the event stream is the
+raw view): the executor, checkpoint journal, retry policy, engine,
+ensemble, and JL pre-projection all emit into it. Aggregation is
+deterministic by construction —
+
+- histogram bucket edges are **fixed at registration** (no dynamic
+  rebinning), so histograms from different runs, shards, or machines
+  align bucket-for-bucket and can be merged by plain addition;
+- :meth:`MetricsRegistry.snapshot` emits metrics in sorted-name order,
+  so two snapshots of identical runs are byte-identical JSON.
+
+Counter/gauge *values* driven by timing (e.g. histogram observations of
+task durations) are of course machine-dependent; the deterministic part
+is the structure — names, buckets, and every count driven by the
+deterministic event fields.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.utils.exceptions import ReproError
+
+#: Default histogram edges for second-valued durations. Fixed and shared
+#: so per-feature timing histograms aggregate across runs and shards.
+DURATION_BUCKETS_S = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ReproError(f"counters only increase; got inc({n})")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins scalar (plus a running max, for peaks)."""
+
+    value: float = 0.0
+    max_value: float = float("-inf")
+    n_sets: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.max_value = max(self.max_value, self.value)
+        self.n_sets += 1
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram of non-negative observations.
+
+    ``edges`` are the inclusive upper bounds of the finite buckets; one
+    implicit overflow bucket catches everything beyond the last edge.
+    Edges are frozen at construction so histograms are mergeable.
+    """
+
+    edges: tuple = DURATION_BUCKETS_S
+    counts: list = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        self.edges = tuple(float(e) for e in self.edges)
+        if list(self.edges) != sorted(set(self.edges)):
+            raise ReproError(f"histogram edges must be strictly increasing; got {self.edges}")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, float(value))] += 1
+        self.total += float(value)
+        self.n += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics.
+
+    Names are dotted strings (``"executor.tasks_ok"``); a name is bound
+    to one metric kind for the registry's lifetime — re-registering the
+    same name with a different kind (or different histogram edges) is an
+    error, never a silent reset.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_unbound(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other, table in owners.items():
+            if other != kind and name in table:
+                raise ReproError(f"metric {name!r} is already a {other}")
+
+    def counter(self, name: str) -> Counter:
+        self._check_unbound(name, "counter")
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_unbound(name, "gauge")
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, edges: tuple = DURATION_BUCKETS_S) -> Histogram:
+        self._check_unbound(name, "histogram")
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(edges=tuple(edges))
+        elif hist.edges != tuple(float(e) for e in edges):
+            raise ReproError(
+                f"histogram {name!r} already registered with edges {hist.edges}"
+            )
+        return hist
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered, JSON-safe dump of every metric."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {
+                k: {
+                    "value": self._gauges[k].value,
+                    "max": (
+                        self._gauges[k].max_value
+                        if self._gauges[k].n_sets
+                        else 0.0
+                    ),
+                }
+                for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: {
+                    "edges": list(self._histograms[k].edges),
+                    "counts": list(self._histograms[k].counts),
+                    "total": self._histograms[k].total,
+                    "n": self._histograms[k].n,
+                }
+                for k in sorted(self._histograms)
+            },
+        }
+
+    # -- event-driven updates ---------------------------------------------
+    def record_event(self, event) -> None:
+        """Central event -> metric mapping, applied by the bus on emit.
+
+        Keeping the mapping in one place means call sites emit an event
+        once and the aggregated counters stay consistent with the raw
+        stream by construction.
+        """
+        name = event.name
+        if name == "FeatureTaskFinished":
+            self.counter(f"executor.tasks_{event.status}").inc()
+            if event.status == "skipped" and event.kind:
+                self.counter(f"executor.skipped_{event.kind}").inc()
+            if event.duration_s is not None:
+                self.histogram("executor.task_duration_s").observe(event.duration_s)
+        elif name == "FeatureTaskStarted":
+            self.counter("executor.attempts").inc()
+        elif name == "RetryScheduled":
+            self.counter("executor.retries").inc()
+        elif name == "TaskTimedOut":
+            self.counter("executor.timeouts").inc()
+        elif name == "WorkerCrashDetected":
+            self.counter("executor.worker_crashes").inc()
+        elif name == "CheckpointHit":
+            self.counter("checkpoint.hits").inc()
+        elif name == "CheckpointMiss":
+            self.counter("checkpoint.misses").inc()
+        elif name == "FoldTrained":
+            self.counter("engine.folds_trained").inc()
+        elif name == "ScoreComputed":
+            self.counter("engine.scores_computed").inc()
+        elif name == "RunStarted":
+            self.counter("runs.started").inc()
+        elif name == "RunFinished":
+            self.counter(f"runs.finished_{event.status}").inc()
+        elif name == "SpanFinished":
+            self.counter(f"spans.{event.span}").inc()
+            self.histogram("spans.wall_s").observe(event.wall_s)

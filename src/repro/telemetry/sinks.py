@@ -1,0 +1,207 @@
+"""Event sinks: where the bus delivers its records.
+
+Three sinks cover the needs of a feature-scale run:
+
+- :class:`JsonlTraceSink` — the durable trace: one JSON object per
+  line, flushed per record so a killed run loses at most the final,
+  half-written line. Opening an existing file in append mode replays
+  it and truncates that torn tail first — the same crash model as the
+  checkpoint journal (``repro.parallel.checkpoint``).
+- :class:`MemorySink` — in-process collection for tests; exposes the
+  determinism :meth:`~MemorySink.signatures` multiset.
+- :class:`ProgressSink` — a throttled single-line stderr progress
+  display for interactive runs (``--progress``). This module and
+  ``repro.cli`` are the only places in the library allowed to write to
+  stderr/stdout directly (fraclint rule FRL009).
+
+Sinks receive :class:`~repro.telemetry.bus.TraceRecord` objects under
+the bus's lock, so they need no locking of their own.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.parallel import profiling
+from repro.utils.exceptions import ReproError
+
+#: File format tag written as the first line of every trace file.
+TRACE_FORMAT = "repro-trace-v1"
+
+
+class TelemetrySinkError(ReproError):
+    """Raised when a sink cannot record an event durably."""
+
+
+class Sink:
+    """Sink interface: receive records, release resources on close."""
+
+    def handle(self, record) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Idempotent resource release; default: nothing to release."""
+
+
+class MemorySink(Sink):
+    """Collects records in memory; the test suite's observation point."""
+
+    def __init__(self) -> None:
+        self.records: list = []
+
+    def handle(self, record) -> None:
+        self.records.append(record)
+
+    def events(self) -> list:
+        return [r.event for r in self.records]
+
+    def names(self) -> list:
+        return [r.event.name for r in self.records]
+
+    def signatures(self) -> dict:
+        """Multiset (signature -> count) over the deterministic fields."""
+        out: dict[tuple, int] = {}
+        for record in self.records:
+            sig = record.event.signature()
+            out[sig] = out.get(sig, 0) + 1
+        return out
+
+
+class JsonlTraceSink(Sink):
+    """Durable JSONL trace file.
+
+    Each record is one line: ``{"seq": ..., "t": ..., "event": ...,
+    <payload>}`` with sorted keys. The first line is a header object
+    carrying the format tag, so readers can reject non-trace files
+    before parsing megabytes of JSON.
+    """
+
+    def __init__(self, path: "str | Path", *, append: bool = False) -> None:
+        self.path = Path(path)
+        self.n_written = 0
+        if append and self.path.exists():
+            valid = self._valid_byte_length()
+            self._fh = self.path.open("r+", encoding="utf-8")
+            self._fh.truncate(valid)
+            self._fh.seek(valid)
+            if valid == 0:
+                self._write_header()
+        else:
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._write_header()
+
+    def _write_header(self) -> None:
+        self._fh.write(json.dumps({"format": TRACE_FORMAT}, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def _valid_byte_length(self) -> int:
+        """Byte length of the intact-line prefix of an existing file.
+
+        A kill mid-write leaves at most one torn final line (no newline,
+        or truncated JSON); everything before it is kept — mirroring the
+        checkpoint journal's truncate-on-open recovery.
+        """
+        valid = 0
+        with self.path.open("rb") as fh:
+            for line in fh:
+                if not line.endswith(b"\n"):
+                    break
+                try:
+                    json.loads(line)
+                except ValueError:
+                    break
+                valid += len(line)
+        return valid
+
+    def handle(self, record) -> None:
+        if self._fh is None:
+            raise TelemetrySinkError(f"trace sink {self.path} is closed")
+        try:
+            self._fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            self._fh.flush()
+        except (OSError, TypeError, ValueError) as exc:
+            raise TelemetrySinkError(
+                f"cannot append event {record.event.name!r} to {self.path}: {exc}"
+            ) from exc
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ProgressSink(Sink):
+    """Throttled one-line progress display on stderr.
+
+    Repaints at most every ``min_interval_s`` seconds of wall time
+    (observed through the profiling layer, keeping FRL007's clock
+    containment), plus unconditionally on run start/finish so short
+    runs still show something.
+    """
+
+    def __init__(
+        self,
+        stream: Any = None,
+        *,
+        min_interval_s: float = 0.5,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = float(min_interval_s)
+        self._last_paint = float("-inf")
+        self._total = 0
+        self._done = 0
+        self._retries = 0
+        self._failed = 0
+        self._cached = 0
+        self._kind = ""
+        self._open_line = False
+
+    def handle(self, record) -> None:
+        event = record.event
+        name = event.name
+        if name == "RunStarted":
+            self._total = event.n_tasks
+            self._done = self._retries = self._failed = self._cached = 0
+            self._kind = event.kind
+            self._paint(force=True)
+        elif name == "FeatureTaskFinished":
+            self._done += 1
+            if event.status == "skipped":
+                self._failed += 1
+            elif event.status == "cached":
+                self._cached += 1
+            self._paint()
+        elif name == "RetryScheduled":
+            self._retries += 1
+            self._paint()
+        elif name == "RunFinished":
+            self._paint(force=True)
+            self._end_line()
+
+    def _paint(self, force: bool = False) -> None:
+        now = profiling.wall_seconds()
+        if not force and now - self._last_paint < self.min_interval_s:
+            return
+        self._last_paint = now
+        total = str(self._total) if self._total else "?"
+        line = (
+            f"[{self._kind or 'run'}] {self._done}/{total} tasks"
+            f" | cached {self._cached} | retries {self._retries}"
+            f" | failed {self._failed}"
+        )
+        self.stream.write("\r" + line.ljust(72))
+        self.stream.flush()
+        self._open_line = True
+
+    def _end_line(self) -> None:
+        if self._open_line:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._open_line = False
+
+    def close(self) -> None:
+        self._end_line()

@@ -1,0 +1,34 @@
+"""Fixture: direct-output calls FRL009 must flag (and allowed shapes)."""
+
+import sys
+from sys import stderr
+
+
+def report(value):
+    print("value is", value)  # line 8: print()
+
+
+def warn(message):
+    sys.stderr.write(message + "\n")  # line 12: sys.stderr.write
+
+
+def tell(message):
+    sys.stdout.write(message)  # line 16: sys.stdout.write
+
+
+def dump(lines):
+    sys.stderr.writelines(lines)  # line 20: sys.stderr.writelines
+
+
+def aliased(message):
+    stderr.write(message)  # line 24: from-import alias of sys.stderr
+
+
+def fine(fh, message):
+    # Writes to an arbitrary handle are not direct output.
+    fh.write(message)
+
+
+def also_fine(log, message):
+    # Logging is the sanctioned channel.
+    log.warning(message)

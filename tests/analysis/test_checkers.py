@@ -122,6 +122,14 @@ class TestHygieneRules:
         found = rules_and_lines("bad_hygiene.py")
         assert [line for rule, line in found if rule == "FRL008"] == [25]
 
+    def test_direct_output(self):
+        found = rules_and_lines("bad_output.py")
+        assert [line for rule, line in found if rule == "FRL009"] == [8, 12, 16, 20, 24]
+
+    def test_direct_output_is_library_only(self):
+        violations = analyze_file(FIXTURES / "bad_output.py")  # inferred: test context
+        assert all(v.rule != "FRL009" for v in violations)
+
     def test_mutable_default_applies_everywhere(self):
         # FRL006 is not library-scoped: inferred (non-library) context still flags it.
         violations = analyze_file(FIXTURES / "bad_hygiene.py")
@@ -133,7 +141,7 @@ class TestHygieneRules:
 class TestCheckerMetadata:
     @pytest.mark.parametrize(
         "rule",
-        ["FRL001", "FRL002", "FRL003", "FRL004", "FRL005", "FRL006", "FRL007", "FRL008"],
+        ["FRL001", "FRL002", "FRL003", "FRL004", "FRL005", "FRL006", "FRL007", "FRL008", "FRL009"],
     )
     def test_get_checker(self, rule):
         checker = get_checker(rule)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,26 @@ from repro.data.synthetic import (
     make_expression_dataset,
     make_snp_dataset,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_trace():
+    """Record the whole test session's telemetry when REPRO_TRACE is set.
+
+    CI exports ``REPRO_TRACE=trace.jsonl`` on the tier-1 job, uploads the
+    file as an artifact, and smoke-checks that ``python -m repro trace``
+    parses it with zero errors (docs/observability.md). Unset (the
+    default), telemetry stays off and this fixture is a no-op.
+    """
+    path = os.environ.get("REPRO_TRACE")
+    if not path:
+        yield
+        return
+    from repro.telemetry import runtime
+
+    runtime.configure(trace_path=path)
+    yield
+    runtime.shutdown()
 
 
 @pytest.fixture

@@ -1,6 +1,11 @@
 """Tests for profiling helpers."""
 
+import warnings
+
+import pytest
+
 from repro.parallel.profiling import SectionTimer, timed_section
+from repro.telemetry import EventBus, MemorySink, set_bus
 
 
 class TestSectionTimer:
@@ -21,14 +26,47 @@ class TestSectionTimer:
             pass
         assert set(t.wall) == {"x", "y"}
 
+    def test_summary_sorted_by_descending_wall_with_total(self):
+        t = SectionTimer()
+        t.wall = {"fast": 0.1, "slow": 2.0, "mid": 0.5}
+        t.cpu = {"fast": 0.1, "slow": 1.5, "mid": 0.4}
+        lines = t.summary().splitlines()
+        assert [line.split(":")[0] for line in lines] == [
+            "slow",
+            "mid",
+            "fast",
+            "total",
+        ]
+        assert lines[-1] == "total: wall=2.600s cpu=2.000s"
+
+    def test_summary_ties_break_by_name(self):
+        t = SectionTimer()
+        t.wall = {"b": 1.0, "a": 1.0}
+        t.cpu = {"b": 0.0, "a": 0.0}
+        assert t.summary().splitlines()[0].startswith("a:")
+
 
 class TestTimedSection:
-    def test_sink(self):
+    def test_sink_still_fed_but_deprecated(self):
         sink = []
-        with timed_section("work", sink):
-            sum(range(1000))
+        with pytest.warns(DeprecationWarning, match="repro.telemetry.span"):
+            with timed_section("work", sink):
+                sum(range(1000))
         assert len(sink) == 1 and sink[0][0] == "work" and sink[0][1] >= 0
 
-    def test_no_sink(self):
-        with timed_section("work"):
-            pass
+    def test_no_sink_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with timed_section("work"):
+                pass
+
+    def test_routes_through_span_when_bus_installed(self):
+        sink = MemorySink()
+        previous = set_bus(EventBus([sink]))
+        try:
+            with timed_section("work"):
+                pass
+        finally:
+            set_bus(previous)
+        assert sink.names() == ["SpanStarted", "SpanFinished"]
+        assert sink.events()[0].span == "work"

@@ -1,0 +1,31 @@
+"""Telemetry test fixtures: an installed in-memory bus, restored after."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import EventBus, MemorySink, set_bus
+
+
+@pytest.fixture
+def memory_bus():
+    """Install an ambient bus backed by a MemorySink; restore on exit."""
+    sink = MemorySink()
+    bus = EventBus([sink])
+    previous = set_bus(bus)
+    yield bus, sink
+    set_bus(previous)
+
+
+@pytest.fixture
+def no_ambient_bus():
+    """Guarantee telemetry is off for the test, shielding any session bus.
+
+    CI runs the suite under ``REPRO_TRACE`` (a session-wide trace bus);
+    tests that assert off-by-default behaviour, or that call
+    ``runtime.configure``/``shutdown`` themselves (which would close that
+    session bus), detach it first and reattach it after.
+    """
+    previous = set_bus(None)
+    yield
+    set_bus(previous)

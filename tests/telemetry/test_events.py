@@ -1,0 +1,118 @@
+"""Event taxonomy: JSON-safety, determinism signatures, the registry."""
+
+import json
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    TIMING_FIELDS,
+    FeatureTaskFinished,
+    FoldTrained,
+    RunFinished,
+    RunStarted,
+    SpanFinished,
+    TelemetryEvent,
+    _register,
+)
+
+
+class TestToDict:
+    def test_payload_is_json_serializable(self):
+        event = FeatureTaskFinished(
+            index=np.int64(3),
+            status="ok",
+            attempts=1,
+            key=(np.int64(7), 0, np.int64(123)),
+            duration_s=np.float64(0.25),
+        )
+        payload = event.to_dict()
+        text = json.dumps(payload)  # must not raise on numpy scalars/tuples
+        assert json.loads(text)["index"] == 3
+
+    def test_tuple_key_becomes_list(self):
+        payload = FeatureTaskFinished(index=0, key=(7, 0, 42)).to_dict()
+        assert payload["key"] == [7, 0, 42]
+
+    def test_nested_dict_payload(self):
+        report = {"n_failures": 1, "failures": [{"index": 2, "key": (2, 0)}]}
+        payload = RunFinished(status="error", failure_report=report).to_dict()
+        assert json.loads(json.dumps(payload))["failure_report"]["n_failures"] == 1
+
+    def test_name_not_in_payload(self):
+        # The record layer adds "event"; the payload stays name-free.
+        assert "name" not in RunStarted(kind="frac.fit").to_dict()
+
+
+class TestSignature:
+    def test_excludes_timing_fields(self):
+        fast = FeatureTaskFinished(index=1, key=(1, 0), duration_s=0.001)
+        slow = FeatureTaskFinished(index=1, key=(1, 0), duration_s=9.999)
+        assert fast.signature() == slow.signature()
+
+    def test_span_timing_excluded(self):
+        a = SpanFinished(span="fit.train", depth=0, wall_s=0.1, cpu_s=0.1, rss_peak_bytes=1)
+        b = SpanFinished(span="fit.train", depth=0, wall_s=7.0, cpu_s=6.0, rss_peak_bytes=9)
+        assert a.signature() == b.signature()
+
+    def test_deterministic_fields_distinguish(self):
+        assert (
+            FeatureTaskFinished(index=1, status="ok").signature()
+            != FeatureTaskFinished(index=1, status="skipped").signature()
+        )
+
+    def test_signature_is_hashable_with_nested_payload(self):
+        report = {"failures": [{"index": 2, "kind": "timeout"}]}
+        sig = RunFinished(status="error", failure_report=report).signature()
+        assert hash(sig) == hash(sig)
+        assert sig[0] == "RunFinished"
+
+    def test_timing_fields_cover_every_machine_dependent_name(self):
+        assert TIMING_FIELDS == {"duration_s", "wall_s", "cpu_s", "rss_peak_bytes"}
+
+
+class TestRegistry:
+    def test_all_events_registered_by_name(self):
+        for name, cls in EVENT_TYPES.items():
+            assert cls.name == name
+            assert issubclass(cls, TelemetryEvent)
+
+    def test_vocabulary_is_complete(self):
+        assert set(EVENT_TYPES) == {
+            "RunStarted",
+            "RunFinished",
+            "FeatureTaskStarted",
+            "FeatureTaskFinished",
+            "RetryScheduled",
+            "TaskTimedOut",
+            "WorkerCrashDetected",
+            "CheckpointHit",
+            "CheckpointMiss",
+            "FoldTrained",
+            "ScoreComputed",
+            "SpanStarted",
+            "SpanFinished",
+        }
+
+    def test_duplicate_name_rejected(self):
+        @dataclass(frozen=True)
+        class Clashing(TelemetryEvent):
+            name: ClassVar[str] = "FoldTrained"
+
+        with pytest.raises(ValueError, match="unique name"):
+            _register(Clashing)
+
+    def test_nameless_event_rejected(self):
+        @dataclass(frozen=True)
+        class Nameless(TelemetryEvent):
+            pass
+
+        with pytest.raises(ValueError, match="unique name"):
+            _register(Nameless)
+
+    def test_fold_trained_defaults(self):
+        event = FoldTrained(feature_id=4, slot=1, fold=2, n_folds=5)
+        assert event.to_dict() == {"feature_id": 4, "slot": 1, "fold": 2, "n_folds": 5}

@@ -1,0 +1,153 @@
+"""Metrics registry: counter/gauge/histogram semantics and determinism."""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import (
+    CheckpointHit,
+    CheckpointMiss,
+    FeatureTaskFinished,
+    FeatureTaskStarted,
+    RetryScheduled,
+    RunFinished,
+    RunStarted,
+    SpanFinished,
+    TaskTimedOut,
+    WorkerCrashDetected,
+)
+from repro.telemetry.metrics import DURATION_BUCKETS_S, Histogram, MetricsRegistry
+from repro.utils.exceptions import ReproError
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.snapshot()["counters"]["a"] == 5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ReproError, match="only increase"):
+            reg.counter("a").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins_with_running_max(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("rss")
+        gauge.set(10.0)
+        gauge.set(3.0)
+        snap = reg.snapshot()["gauges"]["rss"]
+        assert snap == {"value": 3.0, "max": 10.0}
+
+    def test_unset_gauge_reports_zero_max(self):
+        reg = MetricsRegistry()
+        reg.gauge("idle")
+        assert reg.snapshot()["gauges"]["idle"] == {"value": 0.0, "max": 0.0}
+
+
+class TestHistogram:
+    def test_fixed_buckets_with_inclusive_upper_bounds(self):
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        # 0.5 and 1.0 land in the first bucket (edges are inclusive upper
+        # bounds); 3.0 in the third; 100.0 overflows.
+        assert hist.counts == [2, 0, 1, 1]
+        assert hist.n == 4
+        assert hist.mean == pytest.approx((0.5 + 1.0 + 3.0 + 100.0) / 4)
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ReproError, match="strictly increasing"):
+            Histogram(edges=(1.0, 1.0, 2.0))
+
+    def test_default_edges_are_the_shared_duration_buckets(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("d").edges == DURATION_BUCKETS_S
+
+    def test_edge_mismatch_on_reregistration_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("d", edges=(1.0, 2.0))
+        reg.histogram("d", edges=(1.0, 2.0))  # identical: fine
+        with pytest.raises(ReproError, match="already registered"):
+            reg.histogram("d", edges=(1.0, 3.0))
+
+
+class TestKindBinding:
+    def test_counter_name_cannot_become_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ReproError, match="already a counter"):
+            reg.gauge("x")
+
+    def test_gauge_name_cannot_become_histogram(self):
+        reg = MetricsRegistry()
+        reg.gauge("y")
+        with pytest.raises(ReproError, match="already a gauge"):
+            reg.histogram("y")
+
+
+class TestSnapshot:
+    def test_sorted_and_json_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("zz").inc()
+        reg.counter("aa").inc()
+        reg.gauge("mm").set(1.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["aa", "zz"]
+        # Two snapshots of the same registry are byte-identical JSON.
+        assert json.dumps(snap, sort_keys=True) == json.dumps(
+            reg.snapshot(), sort_keys=True
+        )
+
+
+class TestRecordEvent:
+    def _feed(self, *events):
+        reg = MetricsRegistry()
+        for event in events:
+            reg.record_event(event)
+        return reg.snapshot()
+
+    def test_task_lifecycle_counters(self):
+        snap = self._feed(
+            FeatureTaskStarted(index=0),
+            FeatureTaskFinished(index=0, status="ok", duration_s=0.01),
+            FeatureTaskFinished(index=1, status="cached"),
+            FeatureTaskFinished(index=2, status="skipped", kind="timeout"),
+        )
+        counters = snap["counters"]
+        assert counters["executor.attempts"] == 1
+        assert counters["executor.tasks_ok"] == 1
+        assert counters["executor.tasks_cached"] == 1
+        assert counters["executor.tasks_skipped"] == 1
+        assert counters["executor.skipped_timeout"] == 1
+        assert snap["histograms"]["executor.task_duration_s"]["n"] == 1
+
+    def test_fault_counters(self):
+        counters = self._feed(
+            RetryScheduled(index=0, attempt=1),
+            TaskTimedOut(index=0, attempt=1),
+            WorkerCrashDetected(phase="wave"),
+        )["counters"]
+        assert counters["executor.retries"] == 1
+        assert counters["executor.timeouts"] == 1
+        assert counters["executor.worker_crashes"] == 1
+
+    def test_checkpoint_and_run_counters(self):
+        counters = self._feed(
+            RunStarted(kind="frac.fit"),
+            CheckpointHit(index=0),
+            CheckpointMiss(index=1),
+            RunFinished(kind="frac.fit", status="ok"),
+        )["counters"]
+        assert counters["checkpoint.hits"] == 1
+        assert counters["checkpoint.misses"] == 1
+        assert counters["runs.started"] == 1
+        assert counters["runs.finished_ok"] == 1
+
+    def test_span_counters_and_wall_histogram(self):
+        snap = self._feed(SpanFinished(span="fit.train", wall_s=0.2, cpu_s=0.1))
+        assert snap["counters"]["spans.fit.train"] == 1
+        assert snap["histograms"]["spans.wall_s"]["n"] == 1

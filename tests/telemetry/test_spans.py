@@ -1,0 +1,53 @@
+"""Spans: pass-through when off, paired events and nesting when on."""
+
+import pytest
+
+from repro.telemetry import EventBus, MemorySink, get_bus, span
+from repro.telemetry.events import SpanFinished, SpanStarted
+
+
+class TestSpanOff:
+    def test_no_bus_yields_none(self, no_ambient_bus):
+        assert get_bus() is None
+        with span("fit.train") as handle:
+            assert handle is None
+
+
+class TestSpanOn:
+    def test_paired_events_and_filled_handle(self, memory_bus):
+        bus, sink = memory_bus
+        with span("fit.train") as handle:
+            sum(range(1000))
+        assert sink.names() == ["SpanStarted", "SpanFinished"]
+        started, finished = sink.events()
+        assert isinstance(started, SpanStarted) and started.span == "fit.train"
+        assert isinstance(finished, SpanFinished)
+        assert finished.wall_s >= 0 and finished.rss_peak_bytes > 0
+        assert handle.wall_s == finished.wall_s
+
+    def test_nesting_depths(self, memory_bus):
+        bus, sink = memory_bus
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {(e.name, e.span): e.depth for e in sink.events()}
+        assert by_name[("SpanStarted", "outer")] == 0
+        assert by_name[("SpanStarted", "inner")] == 1
+        assert by_name[("SpanFinished", "outer")] == 0
+
+    def test_depth_restored_after_exception(self, memory_bus):
+        bus, sink = memory_bus
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        # The finish event still fires and the next span opens at depth 0.
+        assert sink.names() == ["SpanStarted", "SpanFinished"]
+        with span("next"):
+            pass
+        assert sink.events()[2].depth == 0
+
+    def test_explicit_bus_overrides_ambient(self):
+        sink = MemorySink()
+        with span("local", bus=EventBus([sink])):
+            pass
+        assert sink.names() == ["SpanStarted", "SpanFinished"]
