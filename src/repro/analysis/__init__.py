@@ -2,42 +2,60 @@
 
 An AST-based lint framework enforcing the determinism, RNG-discipline,
 and numerical-safety invariants that the FRaC reproduction's correctness
-rests on (DESIGN.md §6, docs/invariants.md). Run it over the tree with::
+rests on (DESIGN.md §6, docs/invariants.md). v2 adds whole-program
+analysis: a project index and resolved call graph over the scanned tree,
+a taint engine for cross-module dataflow rules (FRL010–FRL014), SARIF
+output, an incremental on-disk cache, and a suppression-debt budget. Run
+it over the tree with::
 
-    python -m repro.analysis src/ tests/
+    python -m repro.analysis src/ tests/ benchmarks/ examples/
 
 Programmatic use::
 
-    from repro.analysis import analyze_paths
-    violations, n_files = analyze_paths(["src"])
+    from repro.analysis import run_analysis
+    result = run_analysis(["src"], cache_path=".fraclint-cache.json")
+    result.violations, result.stats["modules_reindexed"]
 
 Rules are pluggable: subclass :class:`~repro.analysis.framework.Checker`
-and decorate with :func:`~repro.analysis.framework.register`.
+(file-local) or :class:`~repro.analysis.framework.ProjectChecker`
+(whole-program) and decorate with
+:func:`~repro.analysis.framework.register`.
 """
 
 from repro.analysis.framework import (
+    AnalysisResult,
     Checker,
     FileContext,
+    ProjectChecker,
+    ProjectContext,
     Violation,
     all_checkers,
     analyze_file,
     analyze_paths,
+    explain,
     get_checker,
     iter_python_files,
     register,
+    run_analysis,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = [
+    "AnalysisResult",
     "Checker",
     "FileContext",
+    "ProjectChecker",
+    "ProjectContext",
     "Violation",
     "all_checkers",
     "analyze_file",
     "analyze_paths",
+    "explain",
     "get_checker",
     "iter_python_files",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
+    "run_analysis",
 ]

@@ -1,7 +1,9 @@
 """``python -m repro.analysis`` — run fraclint from the command line.
 
-Exit status: 0 when clean, 1 when violations were found, 2 on usage
-errors. The CI gate runs ``python -m repro.analysis src/ tests/``.
+Exit status: 0 when clean, 1 when violations were found or the
+suppression-debt budget is exceeded, 2 on usage errors. The CI gate runs
+``python -m repro.analysis src/ tests/ benchmarks/ examples/ --cache
+.fraclint-cache.json --baseline fraclint-baseline.json``.
 """
 
 from __future__ import annotations
@@ -10,8 +12,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.framework import all_checkers, analyze_paths
+from repro.analysis.framework import all_checkers, explain, run_analysis
 from repro.analysis.reporters import RENDERERS
+from repro.utils.exceptions import ReproError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,6 +38,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout (CI artifacts)",
+    )
+    parser.add_argument(
         "--select",
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
@@ -45,9 +53,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="incremental cache file keyed by content hash; unchanged "
+        "files are neither re-parsed nor re-checked",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="index/check files with N worker processes via the repo's "
+        "own run_tasks (default: in-process)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="enforce the suppression-debt budget recorded in FILE",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current suppression debt to FILE and exit",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append cache/indexing statistics to the report",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        dest="explain_rule",
+        help="print a rule card (invariant, example violation, fix) and exit",
+    )
+    parser.add_argument(
+        "--layers",
+        action="store_true",
+        help="print the FRL013 import-layer diagram and exit",
     )
     return parser
 
@@ -66,7 +114,21 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.list_rules:
         for checker in checkers:
             scope = "library" if checker.library_only else "everywhere"
-            print(f"{checker.rule}  {checker.name:<22} [{scope}] {checker.description}")
+            print(f"{checker.rule}  {checker.name:<24} [{scope}] {checker.description}")
+        return 0
+
+    if args.layers:
+        from repro.analysis.checkers.flow import render_layer_diagram
+
+        print(render_layer_diagram())
+        return 0
+
+    if args.explain_rule:
+        rule = args.explain_rule.strip().upper()
+        known = {c.rule for c in checkers}
+        if rule not in known:
+            parser.error(f"unknown rule id {rule!r}; known: {', '.join(sorted(known))}")
+        print(explain(rule))
         return 0
 
     known = {c.rule for c in checkers}
@@ -84,9 +146,53 @@ def main(argv: "list[str] | None" = None) -> int:
     if missing:
         parser.error(f"no such path(s): {', '.join(map(str, missing))}")
 
-    violations, n_files = analyze_paths(paths, checkers=checkers)
-    print(RENDERERS[args.format](violations, n_files))
-    return 1 if violations else 0
+    baseline = None
+    if args.baseline:
+        from repro.analysis.baseline import load_baseline
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except ReproError as exc:
+            parser.error(str(exc))
+
+    if args.write_baseline:
+        from repro.analysis.baseline import collect_suppressions, write_baseline
+
+        records = collect_suppressions(paths)
+        payload = write_baseline(args.write_baseline, records)
+        print(
+            f"fraclint: baseline written to {args.write_baseline} "
+            f"({payload['total']} suppression(s) in {len(payload['counts'])} group(s))"
+        )
+        return 0
+
+    result = run_analysis(
+        paths, checkers=checkers, cache_path=args.cache, jobs=args.jobs
+    )
+    report = RENDERERS[args.format](result.violations, result.n_files)
+    if args.stats:
+        report += (
+            f"\nfraclint: {result.stats['modules_reindexed']} module(s) "
+            f"re-indexed, {result.stats['cache_hits']} cache hit(s)"
+        )
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"fraclint: report written to {args.output}")
+    else:
+        print(report)
+
+    status = 1 if result.violations else 0
+    if baseline is not None:
+        from repro.analysis.baseline import check_budget, collect_suppressions
+
+        problems = check_budget(baseline, collect_suppressions(paths))
+        for problem in problems:
+            print(f"fraclint budget: {problem}")
+        if problems:
+            status = 1
+        else:
+            print("fraclint budget: suppression debt within baseline")
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,233 @@
+"""Resolved call graph over a :class:`~repro.analysis.index.ProjectIndex`.
+
+Call sites recorded at index time carry *locally-resolved* callee strings
+(import aliases unfolded, module-level symbols qualified). This module
+lifts them to project-wide edges:
+
+- a call to ``repro.learners.registry.make_learner`` becomes an edge to
+  that function's node;
+- ``ClassName(...)`` becomes an edge to ``ClassName.__init__`` (or the
+  class node when no ``__init__`` is defined in the indexed tree);
+- ``self.method(...)`` resolves through the in-project base-class chain;
+- dynamic shapes (``getattr(obj, n)(…)``, methods on arbitrary values,
+  calls of call results) are recorded as *unresolved with a reason* so
+  the self-check tests can prove what the graph does and does not see.
+
+Resolution classes (``CallResolution.kind``):
+
+``internal``   an indexed function/class — edge exists in the graph;
+``external``   a fully-dotted name outside the indexed tree (numpy, stdlib);
+``builtin``    a Python builtin;
+``local``      a call through a local variable (not a direct call);
+``param``      a call through a function parameter (not a direct call);
+``unresolved`` a *direct* name the graph should know but cannot find —
+               these are the failures the core/ self-check asserts against.
+"""
+
+from __future__ import annotations
+
+import builtins
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.index import FunctionInfo, ModuleIndex, ProjectIndex
+
+__all__ = ["CallResolution", "CallGraph", "build_call_graph"]
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+@dataclass(frozen=True)
+class CallResolution:
+    """Where one call site's callee ended up."""
+
+    kind: str  # internal | external | builtin | local | param | dynamic | unresolved
+    target: "str | None"  # qualified node name for internal, dotted for external
+    reason: str = ""
+
+
+class CallGraph:
+    """Edges between indexed function nodes, plus per-site resolutions."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: caller qualname -> set of callee qualnames (internal edges only)
+        self.edges: dict[str, set] = {}
+        #: caller qualname -> [(op, CallResolution)]
+        self.site_resolutions: dict[str, list] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def build(self) -> "CallGraph":
+        for module in self.index.modules.values():
+            for local_name, data in module.functions.items():
+                info = FunctionInfo.from_dict(data)
+                resolutions: list = []
+                edges: set = set()
+                for op in info.calls():
+                    resolution = self.resolve_site(module, info, op)
+                    resolutions.append((op, resolution))
+                    if resolution.kind == "internal" and resolution.target:
+                        edges.add(resolution.target)
+                self.edges[info.qualname] = edges
+                self.site_resolutions[info.qualname] = resolutions
+        return self
+
+    def resolve_site(self, module: ModuleIndex, info: FunctionInfo, op: dict) -> CallResolution:
+        callee = op["callee"]
+        kind = callee.get("kind")
+        if kind == "dynamic":
+            return CallResolution("dynamic", None, callee.get("why", "dynamic"))
+        if kind == "method":
+            recv = callee.get("recv", "")
+            if recv == "self" and info.class_name:
+                target = self._resolve_self_method(module, info.class_name, callee["attr"])
+                if target is not None:
+                    return CallResolution("internal", target)
+                return CallResolution("dynamic", None, f"self.{callee['attr']} not in indexed bases")
+            return CallResolution("dynamic", None, f"method on value {recv!r}")
+        name = callee.get("v", "")
+        if "." not in name:
+            return self._resolve_bare(module, info, name)
+        return self._resolve_dotted(name)
+
+    def _resolve_bare(self, module: ModuleIndex, info: FunctionInfo, name: str) -> CallResolution:
+        if name in info.local_defs:
+            return CallResolution("internal", f"{module.name}.{info.local_defs[name]}")
+        if name in info.params:
+            return CallResolution("param", None, f"call through parameter {name!r}")
+        local_targets = {
+            target
+            for op in info.ops
+            for target in op.get("targets", [])
+        } | {
+            target
+            for op in info.ops
+            if op["op"] == "assign"
+            for target in op.get("targets", [])
+        }
+        if name in local_targets:
+            return CallResolution("local", None, f"call through local {name!r}")
+        if name in module.symbols:
+            symbol = module.symbols[name]
+            if symbol["kind"] == "class":
+                return CallResolution("internal", self._class_ctor(module, name))
+            if symbol["kind"] == "function":
+                return CallResolution("internal", f"{module.name}.{name}")
+            return CallResolution("local", None, f"call through module constant {name!r}")
+        if name in _BUILTIN_NAMES:
+            return CallResolution("builtin", name)
+        return CallResolution("unresolved", None, f"unknown bare name {name!r}")
+
+    def _resolve_dotted(self, dotted: str) -> CallResolution:
+        found = self.index.find_symbol(dotted)
+        if found is not None:
+            module, symbol = found
+            if symbol in module.classes:
+                return CallResolution("internal", self._class_ctor(module, symbol))
+            if module.symbols.get(symbol, {}).get("kind") == "function":
+                return CallResolution("internal", f"{module.name}.{symbol}")
+            # Imported constant / re-export: treat as resolved-internal data.
+            return CallResolution("internal", f"{module.name}.{symbol}")
+        if self.index.has_module_prefix(dotted):
+            # It names something under an indexed package but no symbol
+            # matches — a genuine resolution failure the self-check counts.
+            # Re-exports through package __init__ are chased first.
+            chased = self._chase_reexport(dotted)
+            if chased is not None:
+                return chased
+            return CallResolution("unresolved", dotted, "no such symbol in indexed tree")
+        return CallResolution("external", dotted)
+
+    def _chase_reexport(self, dotted: str) -> "CallResolution | None":
+        """Resolve ``pkg.symbol`` where ``pkg/__init__`` re-exports it."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self.index.modules.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            alias_target = module.aliases.get(parts[cut])
+            if alias_target is None:
+                return None
+            rest = parts[cut + 1:]
+            return self._resolve_dotted(".".join([alias_target] + rest))
+        return None
+
+    def _class_ctor(self, module: ModuleIndex, cls_name: str) -> str:
+        info = module.classes.get(cls_name, {})
+        if "__init__" in info.get("methods", []):
+            return f"{module.name}.{cls_name}.__init__"
+        # Chase the first indexed base with an __init__.
+        for base in info.get("bases", []):
+            found = self.index.find_symbol(base)
+            if found is not None:
+                base_module, base_cls = found
+                if base_cls in base_module.classes:
+                    return self._class_ctor(base_module, base_cls)
+        return f"{module.name}.{cls_name}"
+
+    def _resolve_self_method(self, module: ModuleIndex, cls_name: str, method: str) -> "str | None":
+        seen: set[str] = set()
+        queue = [f"{module.name}.{cls_name}"]
+        while queue:
+            qualified = queue.pop(0)
+            if qualified in seen:
+                continue
+            seen.add(qualified)
+            found = self.index.find_symbol(qualified)
+            if found is None:
+                continue
+            owner, name = found
+            info = owner.classes.get(name)
+            if info is None:
+                continue
+            if method in info.get("methods", []):
+                return f"{owner.name}.{name}.{method}"
+            queue.extend(info.get("bases", []))
+        return None
+
+    # -- queries --------------------------------------------------------
+
+    def node(self, qualname: str) -> "FunctionInfo | None":
+        found = self.index.find_symbol(qualname)
+        if found is None:
+            return None
+        module, _symbol = found
+        local = qualname[len(module.name) + 1:]
+        return module.function(local)
+
+    def module_of(self, qualname: str) -> "ModuleIndex | None":
+        found = self.index.find_symbol(qualname)
+        return None if found is None else found[0]
+
+    def reachable_from(self, roots: "list[str]") -> "list[str]":
+        """Transitive closure over internal edges, BFS order, roots first."""
+        seen: list[str] = []
+        seen_set: set[str] = set()
+        queue = list(roots)
+        while queue:
+            current = queue.pop(0)
+            if current in seen_set:
+                continue
+            seen_set.add(current)
+            seen.append(current)
+            for callee in sorted(self.edges.get(current, ())):
+                # A class-ctor edge also implies its methods may run later,
+                # but only __init__ runs at the call, so only it is walked.
+                if callee not in seen_set:
+                    queue.append(callee)
+        return seen
+
+    def unresolved_sites(self, path_prefix: str = "") -> Iterator[tuple]:
+        """(caller, op, resolution) for every ``unresolved`` direct call."""
+        for caller, resolutions in sorted(self.site_resolutions.items()):
+            module = self.module_of(caller)
+            if module is None or not module.path.startswith(path_prefix):
+                continue
+            for op, resolution in resolutions:
+                if resolution.kind == "unresolved":
+                    yield caller, op, resolution
+
+
+def build_call_graph(index: ProjectIndex) -> CallGraph:
+    return CallGraph(index).build()

@@ -103,7 +103,25 @@ def _calls_name(func: ast.FunctionDef, target: str) -> bool:
 
 @register
 class LearnerContractChecker(Checker):
-    """FRL004: concrete learners validate, reset, and register."""
+    """FRL004: concrete learners validate, reset, and register.
+
+    Invariant:
+        Every concrete ``BaseLearner`` subclass (file-local view; FRL012
+        re-checks registration cross-module) calls ``_validate_xy`` in
+        ``fit``, overrides ``_reset`` so ``clone()`` returns a truly
+        unfitted copy, and appears in the sibling registry dict. A
+        learner that skips validation accepts shape-mismatched folds;
+        one that skips ``_reset`` leaks fitted state through ``clone``.
+
+    Example violation:
+        ``class FastRidge(Regressor)`` whose ``fit`` goes straight to
+        the normal equations without ``self._validate_xy(X, y)``.
+
+    Fix:
+        Call ``X, y = self._validate_xy(X, y)`` first in ``fit``,
+        implement ``_reset`` clearing every fitted attribute, and add
+        the class to ``repro.learners.registry``.
+    """
 
     rule = "FRL004"
     name = "learner-contract"
@@ -175,7 +193,24 @@ class LearnerContractChecker(Checker):
 
 @register
 class ErrorModelContractChecker(Checker):
-    """FRL005: error models implement a guarded ``surprisal``."""
+    """FRL005: error models implement a guarded ``surprisal``.
+
+    Invariant:
+        Every concrete ``ErrorModel`` implements both ``fit`` and
+        ``surprisal``, and ``surprisal`` guards fitted state (calls
+        ``check_fitted``) before computing. Surprisal values feed the NS
+        numerator directly; an unfitted model returning garbage would
+        corrupt anomaly scores rather than fail fast.
+
+    Example violation:
+        A ``surprisal`` that reads ``self.sigma_`` without
+        ``self.check_fitted()`` — ``None`` arithmetic errors (or worse,
+        stale state) instead of a clear ``FitError``.
+
+    Fix:
+        Start ``surprisal`` with ``self.check_fitted()`` and implement
+        ``fit`` to set every fitted attribute the method reads.
+    """
 
     rule = "FRL005"
     name = "errormodel-contract"

@@ -48,10 +48,23 @@ _CLOCK_CALLS = {
     "time.perf_counter_ns",
     "time.process_time",
     "time.process_time_ns",
+    "time.thread_time",
+    "time.thread_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "time.ctime",
+    "time.asctime",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
     "datetime.date.today",
+}
+
+#: Calls that read the clock only for specific string arguments:
+#: ``np.datetime64("now")`` / ``np.datetime64("today")`` stamp the current
+#: time, while ``np.datetime64("2024-01-01")`` is a deterministic literal.
+_CLOCK_CALLS_BY_ARG = {
+    "numpy.datetime64": {"now", "today"},
 }
 
 #: The single file allowed to read clocks. Everything else (including the
@@ -61,7 +74,23 @@ _CLOCK_ALLOWED_SUFFIXES = ("repro/parallel/profiling.py",)
 
 @register
 class MutableDefaultChecker(Checker):
-    """FRL006: no mutable default arguments."""
+    """FRL006: no mutable default arguments.
+
+    Invariant:
+        No function takes a mutable value (``[]``, ``{}``, ``set()``,
+        ``np.array(...)``) as a default argument. Defaults are evaluated
+        once at definition time and shared by every call — across the
+        thousands of per-feature work items the engine schedules, a
+        mutated default silently couples tasks that must be independent.
+
+    Example violation:
+        ``def collect(scores, bucket=[]): bucket.append(scores)`` — every
+        call appends to the *same* list.
+
+    Fix:
+        Default to ``None`` and construct the value inside the body:
+        ``bucket = [] if bucket is None else bucket``.
+    """
 
     rule = "FRL006"
     name = "mutable-default"
@@ -102,7 +131,27 @@ class MutableDefaultChecker(Checker):
 
 @register
 class WallClockChecker(Checker):
-    """FRL007: clock reads confined to the profiling layer."""
+    """FRL007: clock reads confined to the profiling layer.
+
+    Invariant:
+        Library code never reads a clock: ``time.time``/``monotonic``/
+        ``perf_counter``/``process_time`` (and ``_ns``/``thread_time``/
+        ``clock_gettime`` variants), ``time.ctime``/``asctime``,
+        ``datetime.now``/``utcnow``/``today``, ``date.today``, and
+        timestamping ``np.datetime64("now"/"today")`` are all confined to
+        ``repro.parallel.profiling``. Anything time-dependent is
+        machine- and scheduling-dependent, which breaks bit-identical
+        replay and the analytic resource model (DESIGN.md §7).
+
+    Example violation:
+        ``started = datetime.datetime.now()`` inside an engine helper to
+        tag results, or ``np.datetime64("now")`` in artifact metadata.
+
+    Fix:
+        Route CPU timing through
+        ``repro.parallel.profiling.cpu_seconds``; stamp artifacts from
+        telemetry (the bus owns ``t_wall``), not from library code.
+    """
 
     rule = "FRL007"
     name = "wall-clock"
@@ -122,13 +171,21 @@ class WallClockChecker(Checker):
             if not isinstance(node, ast.Call):
                 continue
             resolved = ctx.resolve(node.func)
-            if resolved in _CLOCK_CALLS:
+            if resolved in _CLOCK_CALLS or self._is_arg_gated_clock(node, resolved):
                 yield ctx.violation(
                     self.rule,
                     node,
                     f"clock read {resolved}() outside the profiling layer; "
                     f"results must not depend on wall time (DESIGN.md §6-§7)",
                 )
+
+    @staticmethod
+    def _is_arg_gated_clock(node: ast.Call, resolved: "str | None") -> bool:
+        stamps = _CLOCK_CALLS_BY_ARG.get(resolved or "")
+        if not stamps or not node.args:
+            return False
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value in stamps
 
 
 #: Direct-output calls FRL009 forbids in library code.
@@ -150,7 +207,25 @@ _OUTPUT_ALLOWED_PARTS = ("repro/telemetry/",)
 
 @register
 class DirectOutputChecker(Checker):
-    """FRL009: no ``print()`` / bare stream writes in library code."""
+    """FRL009: no ``print()`` / bare stream writes in library code.
+
+    Invariant:
+        Library code never calls ``print`` or writes to
+        ``sys.stdout``/``sys.stderr`` directly. The CLI owns stdout (it
+        renders parseable artifacts there) and the telemetry progress
+        sink owns the repainted stderr line; stray writes corrupt both.
+        Direct output is allowed only in ``repro/cli.py``, ``__main__``
+        entry points, and ``repro/telemetry/``.
+
+    Example violation:
+        ``print(f"fitting feature {i}")`` inside the engine — it
+        interleaves with the CLI's JSON output and tears the progress
+        line.
+
+    Fix:
+        Use ``repro.utils.logging`` for diagnostics or emit a telemetry
+        event; sinks decide how (and whether) to render it.
+    """
 
     rule = "FRL009"
     name = "direct-output"
@@ -187,7 +262,22 @@ class DirectOutputChecker(Checker):
 
 @register
 class BareAssertChecker(Checker):
-    """FRL008: no ``assert`` in library code."""
+    """FRL008: no ``assert`` in library code.
+
+    Invariant:
+        Library invariants are enforced with raised exceptions, never
+        ``assert``: the ``-O`` flag strips assert statements, so a
+        deployment running optimized bytecode would silently skip the
+        very checks that keep surprisal sums finite and shapes aligned.
+
+    Example violation:
+        ``assert X.shape[0] == y.shape[0]`` in a learner's ``fit``.
+
+    Fix:
+        Raise a typed error from ``repro.utils.exceptions``
+        (``DataError``, ``FitError``, ``ReproError``) with a message
+        naming the violated expectation.
+    """
 
     rule = "FRL008"
     name = "bare-assert"

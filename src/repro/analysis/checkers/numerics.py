@@ -189,7 +189,27 @@ class _PositivityProver:
 
 @register
 class UnguardedLogChecker(Checker):
-    """FRL003: every ``log`` argument must be provably positive or audited."""
+    """FRL003: every ``log`` argument must be provably positive or audited.
+
+    Invariant:
+        Every ``log``/``log2``/``log10``/``log1p`` call site in library
+        code either passes an argument the checker's positivity prover
+        can verify (smoothed counts, floored scales, exponentials,
+        positive constants) or carries an audited suppression stating
+        the positivity argument. One silent ``log(0) = -inf`` inside a
+        surprisal sum poisons a feature's NS score without raising.
+
+    Example violation:
+        ``np.log(counts / total)`` where ``counts`` may contain zeros
+        (an unsmoothed histogram).
+
+    Fix:
+        Smooth or floor the argument (``np.log(counts + alpha)``,
+        ``np.log(np.maximum(sigma, SIGMA_FLOOR))``) — or, when
+        positivity holds for reasons the prover cannot see, add
+        ``# fraclint: disable=FRL003`` with the proof in the comment
+        above it.
+    """
 
     rule = "FRL003"
     name = "unguarded-log"

@@ -38,7 +38,26 @@ _GENERATOR_FACTORIES = {
 
 @register
 class LegacyRngChecker(Checker):
-    """FRL001: forbid global-state randomness in library code."""
+    """FRL001: forbid global-state randomness in library code.
+
+    Invariant:
+        Library code never touches numpy's legacy global RNG
+        (``np.random.seed``/``rand``/``choice``/...) or the stdlib
+        ``random`` module. Global streams are invisible shared state: any
+        caller anywhere can advance them, so two runs with the same seed
+        diverge as soon as import order or call order shifts. All
+        randomness flows through ``repro.utils.rng`` (explicit
+        ``Generator`` objects built from ``SeedSequence`` spawns).
+
+    Example violation:
+        ``np.random.seed(42)`` followed by ``np.random.permutation(n)``
+        in a data loader.
+
+    Fix:
+        Accept a seed or ``Generator`` parameter and use
+        ``repro.utils.rng.as_generator(seed)`` /
+        ``spawn_seeds(seed, n)``; call methods on that generator.
+    """
 
     rule = "FRL001"
     name = "legacy-rng"
@@ -141,7 +160,24 @@ def _comprehension_bound_names(node: ast.AST) -> "set[str]":
 
 @register
 class SharedStreamChecker(Checker):
-    """FRL002: one Generator must not be fanned out to parallel tasks."""
+    """FRL002: one Generator must not be fanned out to parallel tasks.
+
+    Invariant:
+        A single ``np.random.Generator`` is never captured by multiple
+        work items submitted to ``run_tasks`` (or built in a
+        comprehension that replicates it across items). Draws from a
+        shared stream arrive in worker-scheduling order, so results stop
+        being a function of the seed alone.
+
+    Example violation:
+        ``run_tasks(lambda item: fit(item, rng), items)`` — every task
+        closes over the same ``rng``.
+
+    Fix:
+        Derive one child seed per item with
+        ``repro.utils.rng.spawn_seeds(seed, len(items))`` and construct
+        a fresh generator inside each task from its own seed.
+    """
 
     rule = "FRL002"
     name = "shared-stream"

@@ -1,0 +1,343 @@
+"""Dataflow: reaching definitions and call-graph-propagated taint.
+
+The engine runs on the per-function operation summaries recorded by
+:mod:`repro.analysis.index` (no ASTs needed, so cached modules analyze
+without re-parsing). It is deliberately modest and *sound-leaning* for
+the invariants it serves:
+
+- **intraprocedural**: operations are replayed in source order; an
+  assignment kills the target names' previous taint (last write wins —
+  branches are merged, which over-approximates but never loses a taint
+  that a straight-line execution would carry);
+- **value propagation**: a call result is tainted when the callee is a
+  configured *source* (e.g. ``np.random.default_rng()`` with no seed),
+  when any argument is tainted and the callee is external/unknown
+  (conservative), or when the callee's interprocedural summary says its
+  return is tainted; method results on tainted receivers are tainted
+  (``rng.integers(...)``); subscripts and arithmetic over tainted values
+  stay tainted; configured *sanitizers* always return clean values;
+- **interprocedural**: a worklist propagates taint along resolved call
+  edges — a tainted argument taints the callee's parameter, a callee
+  whose return is (conditionally) tainted taints the call result — until
+  a fixed point. Each taint carries its origin site and the hop chain,
+  so violations report the whole witness path.
+
+Sinks are configurable predicates on call sites; a tainted value reaching
+a sink becomes a :class:`TaintHit` reported at the *origin* (the line to
+fix, and the line a suppression must annotate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.index import FunctionInfo, ModuleIndex
+
+__all__ = ["Taint", "TaintConfig", "TaintHit", "TaintEngine"]
+
+_MAX_HOPS = 12
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tainted value: where it was born and how it travelled."""
+
+    origin_path: str
+    origin_line: int
+    origin_col: int
+    origin_desc: str
+    hops: tuple = ()
+
+    def hop(self, description: str) -> "Taint":
+        if len(self.hops) >= _MAX_HOPS:
+            return self
+        return Taint(
+            origin_path=self.origin_path,
+            origin_line=self.origin_line,
+            origin_col=self.origin_col,
+            origin_desc=self.origin_desc,
+            hops=self.hops + (description,),
+        )
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """A tainted value reached a sink."""
+
+    taint: Taint
+    sink_desc: str
+    sink_path: str
+    sink_line: int
+
+    def key(self) -> tuple:
+        return (
+            self.taint.origin_path,
+            self.taint.origin_line,
+            self.sink_path,
+            self.sink_line,
+            self.sink_desc,
+        )
+
+
+@dataclass
+class TaintConfig:
+    """What creates, stops, and consumes taint.
+
+    source:
+        ``source(callee_dotted, op) -> str | None`` — a description when
+        this call *creates* taint (e.g. an unseeded generator), else None.
+    sanitizers:
+        Fully-qualified callables whose result is always clean.
+    sink:
+        ``sink(callee, op, module) -> str | None`` — a description when a
+        tainted value must not reach this call. ``callee`` is the dotted
+        name for direct calls or ``{"attr": ...}`` for method calls.
+    propagate_external:
+        Taint survives calls to unknown/external callables (default True).
+    """
+
+    source: Callable = lambda callee, op: None
+    sanitizers: "set[str]" = field(default_factory=set)
+    sink: Callable = lambda callee, op, module: None
+    propagate_external: bool = True
+
+
+class _Summary:
+    """Evaluation result for one function under known taint facts."""
+
+    def __init__(self) -> None:
+        self.hits: list = []
+        #: (callee qualname, param name, Taint) — taint flowing out of here
+        self.outgoing: list = []
+        #: Taint | None — taint of this function's return value
+        self.return_taint: "Taint | None" = None
+
+
+class TaintEngine:
+    """Fixed-point taint propagation over a built call graph."""
+
+    def __init__(self, graph: CallGraph, config: TaintConfig) -> None:
+        self.graph = graph
+        self.config = config
+        #: qualname -> {param name: Taint} facts accumulated so far
+        self.tainted_params: dict[str, dict] = {}
+        #: qualname -> Taint for (conditionally) tainted returns
+        self.tainted_returns: dict[str, Taint] = {}
+        self._callers: dict[str, set] = {}
+
+    # -- public ---------------------------------------------------------
+
+    def run(self, only_library: bool = True) -> "list[TaintHit]":
+        """Propagate to a fixed point; return deduplicated sink hits."""
+        index = self.graph.index
+        work: list[str] = []
+        for module in index.modules.values():
+            if only_library and not module.is_library:
+                continue
+            for local in module.functions:
+                qualname = f"{module.name}.{local}"
+                work.append(qualname)
+        for caller, edges in self.graph.edges.items():
+            for callee in edges:
+                self._callers.setdefault(callee, set()).add(caller)
+
+        hits: dict[tuple, TaintHit] = {}
+        queue = list(work)
+        queued = set(queue)
+        iterations = 0
+        limit = max(64, 16 * len(work))
+        while queue and iterations < limit:
+            iterations += 1
+            qualname = queue.pop(0)
+            queued.discard(qualname)
+            summary = self._evaluate(qualname)
+            if summary is None:
+                continue
+            for hit in summary.hits:
+                hits.setdefault(hit.key(), hit)
+            changed: set[str] = set()
+            for callee, param, taint in summary.outgoing:
+                facts = self.tainted_params.setdefault(callee, {})
+                if param not in facts:
+                    facts[param] = taint
+                    changed.add(callee)
+            if summary.return_taint is not None and qualname not in self.tainted_returns:
+                self.tainted_returns[qualname] = summary.return_taint
+                changed.update(self._callers.get(qualname, ()))
+            for target in sorted(changed):
+                if target not in queued:
+                    queue.append(target)
+                    queued.add(target)
+        return sorted(hits.values(), key=lambda h: h.key())
+
+    # -- evaluation -----------------------------------------------------
+
+    def _evaluate(self, qualname: str) -> "_Summary | None":
+        module = self.graph.module_of(qualname)
+        if module is None:
+            return None
+        local = qualname[len(module.name) + 1:]
+        info = module.function(local)
+        if info is None:
+            return None
+        summary = _Summary()
+        env: dict[str, Taint] = dict(self.tainted_params.get(qualname, {}))
+        call_results: dict[int, Taint] = {}
+        resolutions = {
+            op["id"]: resolution
+            for op, resolution in self.graph.site_resolutions.get(qualname, [])
+            if op["op"] == "call"
+        }
+
+        def taint_of_refs(refs: Iterable) -> "Taint | None":
+            for ref in refs:
+                if ref["k"] == "name":
+                    taint = env.get(ref["v"])
+                    if taint is not None:
+                        return taint
+                elif ref["k"] == "call":
+                    taint = call_results.get(ref["v"])
+                    if taint is not None:
+                        return taint
+            return None
+
+        for op in info.ops:
+            if op["op"] == "assign":
+                taint = taint_of_refs(op["sources"])
+                for target in op["targets"]:
+                    if taint is not None:
+                        env[target] = taint
+                    else:
+                        env.pop(target, None)
+            elif op["op"] == "return":
+                taint = taint_of_refs(op["sources"])
+                if taint is not None and summary.return_taint is None:
+                    summary.return_taint = taint.hop(f"returned from {qualname}")
+            elif op["op"] == "call":
+                self._evaluate_call(
+                    module, info, op, resolutions.get(op["id"]),
+                    env, call_results, taint_of_refs, summary,
+                )
+        return summary
+
+    def _evaluate_call(self, module: ModuleIndex, info: FunctionInfo, op: dict,
+                       resolution, env: dict, call_results: dict,
+                       taint_of_refs, summary: _Summary) -> None:
+        callee = op["callee"]
+        arg_taints = [taint_of_refs(refs) for refs in op["args"]]
+        kw_taints = {name: taint_of_refs(refs) for name, refs in op["kwargs"].items()}
+        star_taint = taint_of_refs(op["star"])
+        any_arg = next(
+            (t for t in arg_taints + list(kw_taints.values()) + [star_taint] if t is not None),
+            None,
+        )
+        site = f"{module.path}:{op['lineno']}"
+
+        recv_taint: "Taint | None" = None
+        dotted: "str | None" = None
+        if callee["kind"] == "name":
+            dotted = callee["v"]
+        elif callee["kind"] == "method":
+            recv_root = callee.get("recv", "").split(".")[0]
+            recv_taint = env.get(recv_root)
+
+        # 1. Sinks fire on any tainted input (or tainted receiver).
+        sink_desc = self.config.sink(
+            dotted if dotted is not None else {"attr": callee.get("attr", "")},
+            op,
+            module,
+        )
+        incoming = any_arg or recv_taint
+        if sink_desc and incoming is not None:
+            summary.hits.append(
+                TaintHit(
+                    taint=incoming,
+                    sink_desc=sink_desc,
+                    sink_path=module.path,
+                    sink_line=op["lineno"],
+                )
+            )
+
+        # 2. Compute the call result's taint.
+        result: "Taint | None" = None
+        if dotted is not None and dotted in self.config.sanitizers:
+            result = None
+        elif dotted is not None:
+            source_desc = self.config.source(dotted, op)
+            if source_desc:
+                result = Taint(
+                    origin_path=module.path,
+                    origin_line=op["lineno"],
+                    origin_col=op["col"] + 1,
+                    origin_desc=source_desc,
+                )
+            elif resolution is not None and resolution.kind == "internal":
+                target = resolution.target
+                self._propagate_into(target, op, arg_taints, kw_taints, star_taint, site, summary)
+                return_taint = self.tainted_returns.get(target)
+                if return_taint is not None:
+                    result = return_taint.hop(f"result of {target} at {site}")
+                elif any_arg is not None and target is not None and self._is_data_node(target):
+                    # Calling through a re-exported constant or class node:
+                    # conservatively keep the argument's taint.
+                    result = any_arg.hop(f"through {target} at {site}")
+            elif any_arg is not None and self.config.propagate_external:
+                result = any_arg.hop(f"through {dotted} at {site}")
+        elif callee["kind"] == "method":
+            if recv_taint is not None:
+                result = recv_taint.hop(
+                    f"method .{callee.get('attr', '?')}() on tainted value at {site}"
+                )
+            elif any_arg is not None and self.config.propagate_external:
+                result = any_arg.hop(f"through method .{callee.get('attr', '?')}() at {site}")
+        elif any_arg is not None and self.config.propagate_external:
+            result = any_arg.hop(f"through dynamic call at {site}")
+
+        if result is not None:
+            call_results[op["id"]] = result
+        for target in op["targets"]:
+            if result is not None:
+                env[target] = result
+            else:
+                env.pop(target, None)
+
+    def _is_data_node(self, target: str) -> bool:
+        found = self.graph.index.find_symbol(target)
+        if found is None:
+            return True
+        owner, symbol = found
+        kind = owner.symbols.get(symbol, {}).get("kind")
+        return kind not in ("function",) and symbol not in owner.classes
+
+    def _propagate_into(self, target: "str | None", op: dict, arg_taints: list,
+                        kw_taints: dict, star_taint: "Taint | None",
+                        site: str, summary: _Summary) -> None:
+        if target is None:
+            return
+        node = self.graph.node(target)
+        if node is None:
+            return
+        params = node.params
+        offset = 1 if node.class_name and params and params[0] in ("self", "cls") else 0
+        for position, taint in enumerate(arg_taints):
+            if taint is None:
+                continue
+            slot = position + offset
+            if slot < len(params):
+                summary.outgoing.append(
+                    (target, params[slot], taint.hop(f"into {target}({params[slot]}=…) at {site}"))
+                )
+        for name, taint in kw_taints.items():
+            if taint is not None and name in params:
+                summary.outgoing.append(
+                    (target, name, taint.hop(f"into {target}({name}=…) at {site}"))
+                )
+        if star_taint is not None:
+            # ``f(**{...: tainted})`` — parameter unknown; taint them all
+            # (conservative, rare, and exactly the _make_predictor shape).
+            for name in params[offset:]:
+                summary.outgoing.append(
+                    (target, name, star_taint.hop(f"into {target}(**…) at {site}"))
+                )

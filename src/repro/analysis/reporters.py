@@ -1,4 +1,10 @@
-"""Violation reporters: human-readable text and machine-readable JSON."""
+"""Violation reporters: text, machine-readable JSON, and SARIF 2.1.0.
+
+The SARIF output is what CI uploads as an artifact so code-scanning UIs
+can annotate PR diffs; its structure follows the OASIS SARIF 2.1.0
+schema (one ``run``, the rule catalogue under ``tool.driver.rules``, one
+``result`` per violation with a ``physicalLocation`` region).
+"""
 
 from __future__ import annotations
 
@@ -7,7 +13,10 @@ from typing import Sequence
 
 from repro.analysis.framework import Violation
 
-__all__ = ["render_text", "render_json", "RENDERERS"]
+__all__ = ["render_text", "render_json", "render_sarif", "RENDERERS"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(violations: Sequence[Violation], n_files: int) -> str:
@@ -34,4 +43,67 @@ def render_json(violations: Sequence[Violation], n_files: int) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-RENDERERS = {"text": render_text, "json": render_json}
+def render_sarif(violations: Sequence[Violation], n_files: int) -> str:
+    """SARIF 2.1.0 log: rule catalogue + one result per violation."""
+    from repro.analysis.framework import all_checkers
+
+    rules = [
+        {
+            "id": checker.rule,
+            "name": checker.name,
+            "shortDescription": {"text": checker.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for checker in all_checkers()
+    ]
+    rule_ids = {r["id"] for r in rules}
+    extra = sorted({v.rule for v in violations} - rule_ids)
+    rules.extend(
+        {
+            "id": rule,
+            "name": rule.lower(),
+            "shortDescription": {"text": "fraclint parse/internal finding"},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in extra
+    )
+    results = [
+        {
+            "ruleId": v.rule,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path, "uriBaseId": "SRCROOT"},
+                        "region": {
+                            "startLine": max(1, v.line),
+                            "startColumn": max(1, v.col),
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "fraclint",
+                        "informationUri": "docs/invariants.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {"filesScanned": n_files},
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

@@ -10,11 +10,21 @@ from repro.errormodels.entropy import (
 )
 from repro.errormodels.gaussian import GaussianErrorModel
 from repro.errormodels.kde import GaussianKDE, silverman_bandwidth
+from repro.errormodels.registry import (
+    ERROR_MODELS,
+    error_model_constructor,
+    error_model_name,
+    make_error_model,
+)
 
 __all__ = [
     "ErrorModel",
     "GaussianErrorModel",
     "ConfusionErrorModel",
+    "ERROR_MODELS",
+    "error_model_constructor",
+    "error_model_name",
+    "make_error_model",
     "GaussianKDE",
     "silverman_bandwidth",
     "discrete_entropy",

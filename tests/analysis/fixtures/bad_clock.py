@@ -1,0 +1,23 @@
+"""FRL007 fixture: clock reads the rule must catch, including the
+argument-gated ``np.datetime64("now")`` form and the ctime/thread-time
+sources."""
+
+import time
+
+import numpy as np
+
+
+def stamp():
+    return np.datetime64("now")
+
+
+def label():
+    return time.ctime()
+
+
+def spent():
+    return time.thread_time()
+
+
+def raw(clock_id):
+    return time.clock_gettime(clock_id)

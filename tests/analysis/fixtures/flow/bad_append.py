@@ -1,0 +1,14 @@
+"""FRL014 fixture: raw append-mode opens outside the blessed writers."""
+
+
+def record(path, line):
+    with open(path, "a") as fh:  # torn tail on crash mid-write
+        fh.write(line + "\n")
+
+
+def record_binary(path, blob):
+    fh = open(path, "ab")
+    try:
+        fh.write(blob)
+    finally:
+        fh.close()

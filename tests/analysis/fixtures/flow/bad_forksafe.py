@@ -1,0 +1,30 @@
+"""FRL011 fixture: work functions with fork-hostile side effects.
+
+``_worker`` writes a module global through a helper it calls, so the
+violation requires following the call graph, not just the function body.
+"""
+
+_CACHE = {}
+_COUNTER = 0
+
+
+def _bump():
+    global _COUNTER
+    _COUNTER += 1
+
+
+def _worker(item):
+    _bump()
+    return item * 2
+
+
+def _logger(item):
+    with open("/tmp/worker.log", "w") as fh:
+        fh.write(str(item))
+    return item
+
+
+def run(run_tasks, items):
+    doubled = run_tasks(_worker, items)
+    logged = run_tasks(_logger, items)
+    return doubled, logged

@@ -1,0 +1,19 @@
+"""FRL010 fixture: an unseeded generator's stream reaches training.
+
+The taint must survive an intermediate assignment, a cross-function
+call, and a derived value (``rng.permutation``) before hitting ``fit``.
+"""
+
+import numpy as np
+
+
+def _split(rng, n):
+    order = rng.permutation(n)
+    return order[: n // 2]
+
+
+def train(model, X, y):
+    rng = np.random.default_rng()  # unseeded: breaks seeded replay
+    train_idx = _split(rng, X.shape[0])
+    model.fit(X[train_idx], y[train_idx])
+    return model

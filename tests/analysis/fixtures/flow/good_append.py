@@ -1,0 +1,19 @@
+"""FRL014 fixture (clean): reads, truncating writes, and r+ repairs."""
+
+
+def snapshot(path, payload):
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def repair(path):
+    with open(path, "r+b") as fh:
+        data = fh.read()
+        fh.seek(0)
+        fh.truncate()
+        fh.write(data)
+
+
+def load(path):
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,21 @@
+"""FRL011 fixture (clean): pure work functions; sanctioned init hooks.
+
+``on_worker_start`` is the blessed per-process initializer — it may
+write globals because it runs once inside each fresh worker, not in a
+forked parent.
+"""
+
+_SHARED = None
+
+
+def on_worker_start(payload):
+    global _SHARED
+    _SHARED = payload
+
+
+def _worker(item):
+    return item * 2 + (0 if _SHARED is None else 1)
+
+
+def run(run_tasks, items):
+    return run_tasks(_worker, items)

@@ -1,0 +1,15 @@
+"""FRL010 fixture (clean): every generator is built from an explicit seed."""
+
+import numpy as np
+
+
+def _split(rng, n):
+    order = rng.permutation(n)
+    return order[: n // 2]
+
+
+def train(model, X, y, seed):
+    rng = np.random.default_rng(seed)
+    train_idx = _split(rng, X.shape[0])
+    model.fit(X[train_idx], y[train_idx])
+    return model

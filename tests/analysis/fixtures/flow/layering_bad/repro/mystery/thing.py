@@ -1,0 +1,3 @@
+"""FRL013 fixture: a repro subpackage missing from the layer table."""
+
+VALUE = 1

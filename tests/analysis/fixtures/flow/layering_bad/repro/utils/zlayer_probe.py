@@ -1,0 +1,7 @@
+"""FRL013 fixture: a utils-layer module importing upward into core."""
+
+import repro.core.engine  # utils (layer 0) must not reach core (layer 40)
+
+
+def helper():
+    return repro.core.engine

@@ -1,0 +1,8 @@
+"""FRL013 fixture (clean): core importing strictly downward."""
+
+import repro.utils.rng
+from repro.parallel import executor
+
+
+def helper():
+    return repro.utils.rng, executor

@@ -1,0 +1,9 @@
+"""FRL012 fixture roots: a learner hierarchy with an abstract contract."""
+
+import abc
+
+
+class BaseLearner(abc.ABC):
+    @abc.abstractmethod
+    def fit(self, X, y):
+        raise NotImplementedError

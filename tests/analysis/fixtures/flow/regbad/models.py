@@ -1,0 +1,26 @@
+"""FRL012 fixture: one registered, one forgotten, two exempt classes."""
+
+from regbad.base import BaseLearner
+
+
+class GoodModel(BaseLearner):
+    def fit(self, X, y):
+        return self
+
+
+class LostModel(BaseLearner):
+    """Concrete but missing from the registry — the violation."""
+
+    def fit(self, X, y):
+        return self
+
+
+class HalfModel(BaseLearner):
+    """Still abstract (fit not overridden) — exempt."""
+
+
+class _ScratchModel(BaseLearner):
+    """Private helper — exempt by convention."""
+
+    def fit(self, X, y):
+        return self

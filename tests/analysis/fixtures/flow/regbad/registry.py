@@ -1,0 +1,8 @@
+"""FRL012 fixture registry: one sound entry, one dangling entry."""
+
+from regbad.models import GoodModel, Missing
+
+MODELS = {
+    "good": GoodModel,
+    "ghost": Missing,  # no such symbol in regbad.models
+}

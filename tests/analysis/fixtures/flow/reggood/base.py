@@ -1,0 +1,9 @@
+"""FRL012 clean fixture roots."""
+
+import abc
+
+
+class BaseLearner(abc.ABC):
+    @abc.abstractmethod
+    def fit(self, X, y):
+        raise NotImplementedError

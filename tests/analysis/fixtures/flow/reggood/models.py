@@ -1,0 +1,13 @@
+"""FRL012 clean fixture: every concrete class is registered."""
+
+from reggood.base import BaseLearner
+
+
+class AlphaModel(BaseLearner):
+    def fit(self, X, y):
+        return self
+
+
+class BetaModel(BaseLearner):
+    def fit(self, X, y):
+        return self

@@ -1,0 +1,8 @@
+"""FRL012 clean fixture registry: complete and fully resolvable."""
+
+from reggood.models import AlphaModel, BetaModel
+
+MODELS = {
+    "alpha": AlphaModel,
+    "beta": BetaModel,
+}

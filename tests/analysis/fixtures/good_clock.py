@@ -1,0 +1,11 @@
+"""FRL007 fixture (clean): deterministic datetime values are fine."""
+
+import numpy as np
+
+
+def epoch():
+    return np.datetime64("2024-01-01")
+
+
+def horizon(days):
+    return np.datetime64("2024-01-01") + np.timedelta64(days, "D")

@@ -1,0 +1,214 @@
+"""Call-graph tests: resolution kinds, adversarial inputs, self-check."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.framework import run_analysis
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _graph(paths, **kwargs):
+    result = run_analysis(paths, **kwargs)
+    return result.project.graph
+
+
+def _resolutions(graph, caller):
+    return {op["lineno"]: res for op, res in graph.site_resolutions.get(caller, ())}
+
+
+def _write_pkg(tmp_path, files):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for name, body in files.items():
+        (root / name).write_text(textwrap.dedent(body))
+    return root
+
+
+class TestResolutionKinds:
+    def test_internal_external_builtin_local(self, tmp_path):
+        _write_pkg(
+            tmp_path,
+            {
+                "util.py": """
+                def helper(x):
+                    return x
+                """,
+                "main.py": """
+                import json
+                from pkg.util import helper
+
+                def entry(x):
+                    def inner(y):
+                        return y
+                    helper(x)
+                    json.dumps(x)
+                    len(x)
+                    inner(x)
+                """,
+            },
+        )
+        graph = _graph([tmp_path])
+        res = _resolutions(graph, "pkg.main.entry")
+        assert res[8].kind == "internal"
+        assert res[8].target == "pkg.util.helper"
+        assert res[9].kind == "external"
+        assert res[10].kind == "builtin"
+        assert res[11].kind == "internal"
+        assert res[11].target == "pkg.main.entry.<locals>.inner"
+        assert "pkg.util.helper" in graph.edges["pkg.main.entry"]
+
+    def test_class_constructor_and_self_method(self, tmp_path):
+        _write_pkg(
+            tmp_path,
+            {
+                "models.py": """
+                class Base:
+                    def __init__(self):
+                        self.state = None
+
+                    def shared(self):
+                        return 1
+
+                class Leaf(Base):
+                    def fit(self):
+                        return self.shared()
+
+                def build():
+                    return Leaf()
+                """,
+            },
+        )
+        graph = _graph([tmp_path])
+        build = _resolutions(graph, "pkg.models.build")
+        assert build[14].kind == "internal"
+        # Leaf has no __init__ of its own: the ctor chase lands on Base's
+        assert build[14].target == "pkg.models.Base.__init__"
+        fit = _resolutions(graph, "pkg.models.Leaf.fit")
+        assert fit[11].kind == "internal"
+        assert fit[11].target == "pkg.models.Base.shared"
+
+    def test_reexport_through_package_init(self, tmp_path):
+        root = _write_pkg(
+            tmp_path,
+            {
+                "impl.py": """
+                def work(x):
+                    return x
+                """,
+                "main.py": """
+                import pkg
+
+                def entry(x):
+                    return pkg.work(x)
+                """,
+            },
+        )
+        (root / "__init__.py").write_text("from pkg.impl import work\n")
+        graph = _graph([tmp_path])
+        res = _resolutions(graph, "pkg.main.entry")
+        assert res[5].kind == "internal"
+        assert res[5].target == "pkg.impl.work"
+
+
+class TestAdversarialInputs:
+    def test_syntax_error_file_does_not_sink_the_run(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "broken.py").write_text("def f(:\n")
+        (tree / "fine.py").write_text("def g(x):\n    return x\n")
+        result = run_analysis([tree], force_library=True)
+        assert [v.rule for v in result.violations] == ["FRL000"]
+        mod = result.project.index.by_path(str((tree / "broken.py").resolve()))
+        assert mod is not None and mod.parse_error
+        assert result.project.graph.site_resolutions  # fine.py still indexed
+
+    def test_circular_imports_terminate(self, tmp_path):
+        _write_pkg(
+            tmp_path,
+            {
+                "a.py": """
+                import pkg.b
+
+                def fa(x):
+                    return pkg.b.fb(x)
+                """,
+                "b.py": """
+                import pkg.a
+
+                def fb(x):
+                    if x:
+                        return pkg.a.fa(x - 1)
+                    return 0
+                """,
+            },
+        )
+        graph = _graph([tmp_path])
+        assert graph.edges["pkg.a.fa"] == {"pkg.b.fb"}
+        assert graph.edges["pkg.b.fb"] == {"pkg.a.fa"}
+        # reachability over the cycle terminates
+        reach = graph.reachable_from(["pkg.a.fa"])
+        assert {"pkg.a.fa", "pkg.b.fb"} <= set(reach)
+
+    def test_dynamic_getattr_is_marked_dynamic_not_wrong(self, tmp_path):
+        _write_pkg(
+            tmp_path,
+            {
+                "dyn.py": """
+                import importlib
+
+                def dispatch(obj, name, x):
+                    fn = getattr(obj, name)
+                    fn(x)
+                    mod = importlib.import_module(name)
+                    return mod.run(x)
+                """,
+            },
+        )
+        graph = _graph([tmp_path])
+        res = _resolutions(graph, "pkg.dyn.dispatch")
+        kinds = {r.kind for r in res.values()}
+        # nothing here may claim an internal target
+        assert "internal" not in kinds
+        assert kinds <= {"dynamic", "external", "builtin", "local", "param", "unresolved"}
+
+    def test_shadowed_builtin_resolves_to_module_symbol(self, tmp_path):
+        _write_pkg(
+            tmp_path,
+            {
+                "shadow.py": """
+                def len(x):
+                    return 0
+
+                def entry(x):
+                    return len(x)
+                """,
+            },
+        )
+        graph = _graph([tmp_path])
+        res = _resolutions(graph, "pkg.shadow.entry")
+        assert res[6].kind == "internal"
+        assert res[6].target == "pkg.shadow.len"
+
+
+class TestSelfCheck:
+    """Acceptance: the call graph resolves every direct call in core/."""
+
+    def test_core_has_no_unresolved_direct_calls(self):
+        graph = _graph([ROOT / "src"])
+        unresolved = [
+            (caller, op["lineno"], res.reason)
+            for caller, op, res in graph.unresolved_sites("src/repro/core")
+        ]
+        assert unresolved == []
+
+    def test_whole_src_tree_has_no_unresolved_direct_calls(self):
+        graph = _graph([ROOT / "src"])
+        unresolved = list(graph.unresolved_sites("src/repro"))
+        assert unresolved == []
+
+    def test_engine_reaches_learner_fit_machinery(self):
+        graph = _graph([ROOT / "src"])
+        reach = set(graph.reachable_from(["repro.core.engine.run_feature_task"]))
+        assert "repro.learners.registry.make_learner" in reach

@@ -10,12 +10,19 @@ from repro.analysis import (
     all_checkers,
     analyze_file,
     analyze_paths,
+    explain,
     iter_python_files,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.analysis.__main__ import main
-from repro.analysis.framework import PARSE_ERROR_RULE, FileContext
+from repro.analysis.framework import (
+    EXPLAIN_SECTIONS,
+    PARSE_ERROR_RULE,
+    FileContext,
+    run_analysis,
+)
 
 ROOT = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
@@ -207,3 +214,109 @@ class TestSelfCheck:
         target.write_text(mutated)
         violations = analyze_file(target, force_library=True)
         assert any(v.rule == "FRL003" for v in violations)
+
+
+class TestExplain:
+    def test_every_registered_rule_has_a_rule_card(self):
+        for checker in all_checkers():
+            card = explain(checker.rule)
+            assert card.startswith(checker.rule)
+            for section in EXPLAIN_SECTIONS:
+                assert section in card, (checker.rule, section)
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            explain("FRL999")
+
+    def test_cli_explain_prints_all_sections(self, capsys):
+        assert main(["--explain", "frl013"]) == 0  # case-insensitive
+        out = capsys.readouterr().out
+        for section in EXPLAIN_SECTIONS:
+            assert section in out
+
+    def test_cli_explain_unknown_rule_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--explain", "FRL999"])
+        assert excinfo.value.code == 2
+
+
+class TestSarif:
+    def _violations(self):
+        return [
+            Violation(path="src/a.py", line=3, col=1, rule="FRL001", message="bad"),
+            Violation(path="src/b.py", line=0, col=0, rule="FRL000", message="broke"),
+        ]
+
+    def test_structure_follows_2_1_0(self):
+        doc = json.loads(render_sarif(self._violations(), n_files=4))
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "fraclint"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"FRL001", "FRL000"} <= rule_ids  # unknown ids get stub entries
+        assert {c.rule for c in all_checkers()} <= rule_ids
+
+    def test_results_reference_rules_and_locations(self):
+        doc = json.loads(render_sarif(self._violations(), n_files=4))
+        run = doc["runs"][0]
+        results = run["results"]
+        assert len(results) == 2
+        first = results[0]
+        assert first["ruleId"] == "FRL001"
+        assert first["level"] == "error"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["region"]["startLine"] == 3
+        # SARIF regions are 1-based: the FRL000 zero line/col is clamped
+        second_region = results[1]["locations"][0]["physicalLocation"]["region"]
+        assert second_region["startLine"] == 1
+        assert second_region["startColumn"] == 1
+        rule_index = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {res["ruleId"] for res in results} <= rule_index
+
+    def test_clean_run_is_valid_sarif(self):
+        doc = json.loads(render_sarif([], n_files=9))
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["properties"]["filesScanned"] == 9
+
+    def test_cli_sarif_output_to_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        out = tmp_path / "report.sarif"
+        assert main([str(bad), "--format", "sarif", "--output", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"][0]["ruleId"] == "FRL001"
+        assert "report written" in capsys.readouterr().out
+
+
+class TestRunAnalysisApi:
+    def test_parallel_jobs_match_serial(self):
+        serial = run_analysis([ROOT / "src/repro/analysis"])
+        threaded = run_analysis([ROOT / "src/repro/analysis"], jobs=4)
+        assert [v.format() for v in serial.violations] == [
+            v.format() for v in threaded.violations
+        ]
+        assert serial.stats["files"] == threaded.stats["files"]
+
+    def test_project_checkers_respect_suppressions(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "w.py").write_text(
+            "def record(path, line):\n"
+            "    # journal writer for the scratch harness, rewritten atomically\n"
+            "    with open(path, 'a') as fh:  # fraclint: disable=FRL014\n"
+            "        fh.write(line)\n"
+        )
+        result = run_analysis([tree], force_library=True)
+        assert [v for v in result.violations if v.rule == "FRL014"] == []
+
+    def test_cli_stats_line(self, capsys):
+        assert main([str(ROOT / "src/repro/analysis"), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "re-indexed" in out
+
+    def test_cli_layers_exits_zero(self, capsys):
+        assert main(["--layers"]) == 0
+        assert "layer DAG" in capsys.readouterr().out

@@ -1,0 +1,212 @@
+"""Project-index tests: naming, symbol tables, caching, invalidation."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.framework import FileContext, run_analysis
+from repro.analysis.index import (
+    CACHE_SCHEMA_VERSION,
+    IndexCache,
+    ProjectIndex,
+    content_hash,
+    index_module,
+    module_name_for,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _index(path, name=None):
+    return index_module(FileContext.parse(path), name)
+
+
+class TestModuleNaming:
+    def test_walks_packages_up_to_first_non_package(self, tmp_path):
+        (tmp_path / "pkg" / "sub").mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+        mod = tmp_path / "pkg" / "sub" / "m.py"
+        mod.write_text("x = 1\n")
+        assert module_name_for(mod) == "pkg.sub.m"
+
+    def test_init_names_the_package(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        init = tmp_path / "pkg" / "__init__.py"
+        init.write_text("")
+        assert module_name_for(init) == "pkg"
+
+    def test_bare_module_outside_packages(self, tmp_path):
+        mod = tmp_path / "loose.py"
+        mod.write_text("x = 1\n")
+        # qualified by the parent directory to stay unique-ish
+        assert module_name_for(mod) == f"{tmp_path.name}.loose"
+
+    def test_shipped_tree_names(self):
+        mod = _index(ROOT / "src/repro/core/engine.py")
+        assert mod.name == "repro.core.engine"
+
+
+class TestSymbolExtraction:
+    def test_classes_functions_and_imports(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import numpy as np\n"
+            "from math import log\n"
+            "CONST = 3\n"
+            "class Alpha:\n"
+            "    def fit(self, X):\n"
+            "        return X\n"
+            "def helper(a, b=1):\n"
+            "    return log(a) + b\n"
+        )
+        mod = _index(f)
+        assert mod.symbols["Alpha"]["kind"] == "class"
+        assert mod.symbols["helper"]["kind"] == "function"
+        assert mod.aliases["np"] == "numpy"
+        assert "Alpha" in mod.classes
+        assert mod.function("helper").params == ["a", "b"]
+        assert mod.function("Alpha.fit") is not None
+
+    def test_dict_literals_plain_and_annotated(self, tmp_path):
+        f = tmp_path / "registry.py"
+        f.write_text(
+            "class A: ...\n"
+            "class B: ...\n"
+            "PLAIN = {'a': A}\n"
+            "ANNOTATED: dict = {'b': B}\n"
+            "SKIPPED = {1: A}\n"  # non-string key: not a name registry
+        )
+        mod = _index(f, "fix.registry")
+        assert mod.dict_literals["PLAIN"]["entries"] == {"a": "fix.registry.A"}
+        assert mod.dict_literals["ANNOTATED"]["entries"] == {"b": "fix.registry.B"}
+        assert mod.dict_literals["ANNOTATED"]["line"] == 4
+        assert "SKIPPED" not in mod.dict_literals
+
+    def test_shipped_learner_registry_is_captured(self):
+        mod = _index(ROOT / "src/repro/learners/registry.py")
+        entries = mod.dict_literals["REGRESSORS"]["entries"]
+        assert entries["ridge"] == "repro.learners.ridge.RidgeRegressor"
+        assert "CLASSIFIERS" in mod.dict_literals
+
+    def test_suppression_records_carry_notes(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import math\n"
+            "# sigma is floored in fit()\n"
+            "x = math.log(0.1)  # fraclint: disable=FRL003\n"
+            "y = math.log(0.2)  # fraclint: disable=FRL003 -- inline proof\n"
+            "z = math.log(0.3)  # fraclint: disable=FRL003\n"
+        )
+        records = {r["line"]: r for r in FileContext.parse(f).suppression_records()}
+        assert records[3]["note"] == "sigma is floored in fit()"
+        assert records[4]["note"] == "inline proof"
+        assert records[5]["note"] == ""
+
+
+class TestProjectIndex:
+    def test_find_symbol_and_subclasses(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (tmp_path / "pkg" / "base.py").write_text("class Root: ...\n")
+        (tmp_path / "pkg" / "impl.py").write_text(
+            "from pkg.base import Root\nclass Leaf(Root): ...\n"
+        )
+        index = ProjectIndex()
+        for name in ("__init__", "base", "impl"):
+            index.add(_index(tmp_path / "pkg" / f"{name}.py"))
+        found = index.find_symbol("pkg.base.Root")
+        assert found is not None and found[1] == "Root"
+        subs = {cls for _, cls in index.subclasses_of({"pkg.base.Root"})}
+        assert subs == {"Leaf"}
+
+    def test_collision_keeps_both_modules(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        for d in (a, b):
+            d.mkdir()
+            (d / "same.py").write_text("x = 1\n")
+        index = ProjectIndex()
+        index.add(_index(a / "same.py"))
+        index.add(_index(b / "same.py"))
+        assert len(index.modules) == 2
+
+
+class TestIncrementalCache:
+    def test_second_run_reindexes_nothing(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        first = run_analysis([ROOT / "src"], cache_path=cache)
+        assert first.stats["modules_reindexed"] == first.stats["files"]
+        second = run_analysis([ROOT / "src"], cache_path=cache)
+        assert second.stats["modules_reindexed"] == 0
+        assert second.stats["cache_hits"] == second.stats["files"]
+        assert [v.format() for v in second.violations] == [
+            v.format() for v in first.violations
+        ]
+
+    def test_edit_reindexes_only_the_edited_file(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        (tree / "b.py").write_text("y = 2\n")
+        cache = tmp_path / "cache.json"
+        run_analysis([tree], cache_path=cache)
+        (tree / "a.py").write_text("x = 3\n")
+        res = run_analysis([tree], cache_path=cache)
+        assert res.stats["modules_reindexed"] == 1
+        assert res.stats["cache_hits"] == 1
+
+    def test_cache_detects_violations_without_rescanning(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "bad.py").write_text("import random\n")
+        cache = tmp_path / "cache.json"
+        first = run_analysis([tree], cache_path=cache, force_library=True)
+        second = run_analysis([tree], cache_path=cache, force_library=True)
+        assert second.stats["modules_reindexed"] == 0
+        assert [v.rule for v in first.violations] == ["FRL001"]
+        assert [v.rule for v in second.violations] == ["FRL001"]
+
+    def test_schema_version_invalidates(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        run_analysis([tree], cache_path=cache)
+        payload = json.loads(cache.read_text())
+        payload["version"] = CACHE_SCHEMA_VERSION - 1
+        cache.write_text(json.dumps(payload))
+        res = run_analysis([tree], cache_path=cache)
+        assert res.stats["modules_reindexed"] == 1
+
+    def test_ruleset_change_invalidates(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        run_analysis([tree], cache_path=cache)
+        payload = json.loads(cache.read_text())
+        payload["ruleset"] = "file:FRL001"  # a different active rule set
+        cache.write_text(json.dumps(payload))
+        res = run_analysis([tree], cache_path=cache)
+        assert res.stats["modules_reindexed"] == 1
+
+    def test_lookup_is_content_addressed(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        cache = IndexCache(tmp_path / "c.json", ruleset="file:FRL001")
+        mod = _index(f)
+        cache.store(mod, [])
+        hit = cache.lookup(mod.path, content_hash(b"x = 1\n"))
+        assert hit is not None and hit[0].name == mod.name
+        assert cache.lookup(mod.path, content_hash(b"x = 2\n")) is None
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        res = run_analysis([tree], cache_path=cache)
+        assert res.stats["modules_reindexed"] == 1
+        # and the run rewrites it into a valid cache
+        assert run_analysis([tree], cache_path=cache).stats["cache_hits"] == 1

@@ -1,0 +1,43 @@
+"""Name registry round-trip for error models (FRL012's runtime contract)."""
+
+import pytest
+
+from repro.errormodels import (
+    ERROR_MODELS,
+    error_model_constructor,
+    error_model_name,
+    make_error_model,
+)
+from repro.errormodels.confusion import ConfusionErrorModel
+from repro.errormodels.gaussian import GaussianErrorModel
+
+
+class TestRegistry:
+    def test_expected_entries(self):
+        assert ERROR_MODELS["gaussian"] is GaussianErrorModel
+        assert ERROR_MODELS["confusion"] is ConfusionErrorModel
+
+    def test_constructor_lookup(self):
+        assert error_model_constructor("gaussian") is GaussianErrorModel
+
+    def test_unknown_name_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown error model"):
+            error_model_constructor("nope")
+
+    def test_name_round_trips(self):
+        for name, ctor in ERROR_MODELS.items():
+            instance = make_error_model(name) if name != "confusion" else ctor(arity=3)
+            assert error_model_name(instance) == name
+            assert error_model_constructor(error_model_name(instance)) is type(instance)
+
+    def test_unregistered_instance_is_an_error(self):
+        class Imposter:
+            pass
+
+        with pytest.raises(ValueError, match="not registered"):
+            error_model_name(Imposter())
+
+    def test_make_forwards_params(self):
+        model = make_error_model("confusion", arity=4, smoothing=2.0)
+        assert model.arity == 4
+        assert model.smoothing == 2.0
