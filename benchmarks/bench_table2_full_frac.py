@@ -3,16 +3,66 @@
 The schizophrenia row is extrapolated from autism, exactly as in the
 paper. Absolute times/bytes reflect this machine and the bench scale; the
 paper's AUC column is reprinted alongside for comparison.
+
+This bench is also the repo's perf-trajectory anchor: the run executes
+under a fracscope trace (``BENCH_table2_trace.jsonl``) and writes
+``BENCH_table2.json`` — wall, CPU, peak RSS, and features/sec at the
+default scale — so successive PRs leave comparable numbers on disk. The
+optimization ledger (``docs/optimization-ledger.md``) is generated from
+this run's trace via ``python -m repro.analysis --profile``; see
+docs/performance.md.
 """
 
-from conftest import emit
+from conftest import capture_trace, condense_trace, emit, emit_json
 
 from repro.data.compendium import COMPENDIUM
 from repro.experiments import render_table, table2
+from repro.parallel import profiling
+from repro.telemetry.trace import read_trace, summarize_trace
 
 
 def bench_table2(benchmark, settings, results_dir):
-    rows = benchmark.pedantic(lambda: table2(settings), rounds=1, iterations=1)
+    trace_path = results_dir / "BENCH_table2_trace.jsonl"
+
+    def run():
+        with capture_trace(trace_path):
+            return table2(settings)
+
+    wall0, cpu0 = profiling.wall_seconds(), profiling.cpu_seconds()
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall_s = profiling.wall_seconds() - wall0
+    cpu_s = profiling.cpu_seconds() - cpu0
+
+    summary = summarize_trace(read_trace(trace_path))
+    n_feature_tasks = sum(summary.task_status_counts.values())
+    condense_trace(trace_path)
+    emit_json(
+        results_dir,
+        "BENCH_table2",
+        {
+            "format": "repro-bench-table2-v1",
+            "scale": settings.scale,
+            "sample_scale": settings.sample_scale,
+            "n_replicates": settings.n_replicates,
+            "wall_s": round(wall_s, 3),
+            "cpu_s": round(cpu_s, 3),
+            "rss_peak_bytes": profiling.peak_rss_bytes(),
+            "n_feature_tasks": n_feature_tasks,
+            "features_per_s": round(n_feature_tasks / wall_s, 3) if wall_s > 0 else None,
+            "n_trace_events": summary.n_events,
+            "rows": [
+                {
+                    "data_set": row["data set"],
+                    "auc_mean": None if row["auc"] is None else round(row["auc"].mean, 4),
+                    "auc_std": None if row["auc"] is None else round(row["auc"].std, 4),
+                    "time_s": round(row["time_s"], 3),
+                    "estimated": row["estimated"],
+                }
+                for row in rows
+            ],
+        },
+    )
+
     for row in rows:
         entry = COMPENDIUM[row["data set"]]
         row["paper AUC"] = entry.paper_full_auc

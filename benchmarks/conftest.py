@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
 
 import pytest
@@ -76,3 +77,61 @@ def emit(results_dir: Path, name: str, text: str) -> None:
     """Print an artifact and persist it under benchmarks/results/."""
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@contextmanager
+def capture_trace(path: Path):
+    """Route telemetry into a fracscope JSONL trace at ``path``.
+
+    Installs a private bus via ``set_bus`` save/restore — not
+    ``configure(trace_path=...)``, which would close whatever bus the
+    surrounding session owns — so the capture composes with any ambient
+    telemetry. The trace this writes is the measured half of the
+    optimization ledger: ``python -m repro.analysis --profile <path>``
+    (docs/performance.md).
+    """
+    from repro.telemetry import EventBus
+    from repro.telemetry.runtime import get_bus, set_bus
+    from repro.telemetry.sinks import JsonlTraceSink
+
+    sink = JsonlTraceSink(path)
+    previous = get_bus()
+    set_bus(EventBus(sinks=[sink]))
+    try:
+        yield
+    finally:
+        set_bus(previous)
+        sink.close()
+
+
+def emit_json(results_dir: Path, name: str, payload: dict) -> Path:
+    """Persist a BENCH_*.json trajectory point under benchmarks/results/."""
+    target = results_dir / f"{name}.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return target
+
+
+#: Events kept when a captured trace is condensed for commit: runs and
+#: spans carry all the wall/CPU time the optimization ledger prices. The
+#: per-task / per-fold events are O(features) lines (megabytes at even
+#: bench scale); their counts are folded into BENCH_*.json first.
+CONDENSED_EVENTS = frozenset(
+    {"RunStarted", "RunFinished", "SpanStarted", "SpanFinished"}
+)
+
+
+def condense_trace(path: Path) -> None:
+    """Rewrite a trace in place, keeping only :data:`CONDENSED_EVENTS`.
+
+    The result is still a valid fracscope trace (header preserved), and
+    ``python -m repro.analysis --profile`` produces the identical ledger
+    ranking from it — span time is untouched, only per-task annotations
+    are gone.
+    """
+    lines = path.read_text(encoding="utf-8").splitlines()
+    kept = [lines[0]]
+    kept.extend(
+        line for line in lines[1:]
+        if line.strip() and json.loads(line).get("event") in CONDENSED_EVENTS
+    )
+    path.write_text("\n".join(kept) + "\n", encoding="utf-8")

@@ -16,6 +16,9 @@ from repro.analysis.framework import all_checkers, explain, run_analysis
 from repro.analysis.reporters import RENDERERS
 from repro.utils.exceptions import ReproError
 
+#: Sentinel for a bare ``--explain`` (no rule): print the card index.
+_EXPLAIN_INDEX = "__index__"
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -33,9 +36,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=sorted(RENDERERS),
+        choices=sorted(RENDERERS) + ["ledger"],
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; 'ledger' requires --profile)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="TRACE",
+        help="read a fracscope trace (JSONL) and emit the optimization "
+        "ledger: FRL015-FRL019 findings ranked by measured span time "
+        "(--format ledger|json|sarif; see docs/performance.md)",
     )
     parser.add_argument(
         "--output",
@@ -77,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record the current suppression debt to FILE and exit",
     )
     parser.add_argument(
+        "--update-baseline",
+        metavar="FILE",
+        dest="update_baseline",
+        help="regenerate FILE mechanically, preserving previously recorded "
+        "audit notes for groups that still exist, and exit",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="append cache/indexing statistics to the report",
@@ -90,7 +107,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--explain",
         metavar="RULE",
         dest="explain_rule",
-        help="print a rule card (invariant, example violation, fix) and exit",
+        nargs="?",
+        const=_EXPLAIN_INDEX,
+        help="print a rule card (invariant, example violation, fix) and "
+        "exit; with no RULE, list a one-line index of every card",
     )
     parser.add_argument(
         "--layers",
@@ -104,6 +124,42 @@ def _split_rules(spec: "str | None") -> "set[str]":
     if not spec:
         return set()
     return {rule.strip().upper() for rule in spec.split(",") if rule.strip()}
+
+
+def _run_profile(parser: argparse.ArgumentParser, args, paths: "list[Path]") -> int:
+    """The ``--profile`` path: scan, join with the trace, emit the ledger."""
+    from repro.analysis.ledger import (
+        build_ledger,
+        ledger_violation_rows,
+        render_ledger,
+        render_ledger_json,
+    )
+
+    trace_path = Path(args.profile)
+    if not trace_path.exists():
+        parser.error(f"no such trace: {trace_path}")
+
+    # Index only — the ledger prices findings itself, suppressed or not.
+    result = run_analysis(paths, checkers=[], jobs=args.jobs)
+    try:
+        ledger = build_ledger(result.project, trace_path)
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    fmt = args.format if args.format != "text" else "ledger"
+    if fmt == "ledger":
+        report = render_ledger(ledger)
+    elif fmt == "json":
+        report = render_ledger_json(ledger)
+    else:
+        report = RENDERERS["sarif"](ledger_violation_rows(ledger), result.n_files)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"fraclint: ledger written to {args.output}")
+    else:
+        print(report)
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -124,6 +180,12 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
 
     if args.explain_rule:
+        if args.explain_rule == _EXPLAIN_INDEX:
+            for checker in checkers:
+                print(f"{checker.rule}  {checker.name:<24} {checker.description}")
+            print()
+            print("Run --explain RULE for the full card (invariant, example, fix).")
+            return 0
         rule = args.explain_rule.strip().upper()
         known = {c.rule for c in checkers}
         if rule not in known:
@@ -145,6 +207,27 @@ def main(argv: "list[str] | None" = None) -> int:
     missing = [p for p in paths if not p.exists()]
     if missing:
         parser.error(f"no such path(s): {', '.join(map(str, missing))}")
+
+    if args.format == "ledger" and not args.profile:
+        parser.error("--format ledger requires --profile TRACE")
+
+    if args.profile:
+        return _run_profile(parser, args, paths)
+
+    if args.update_baseline:
+        from repro.analysis.baseline import collect_suppressions, update_baseline
+
+        records = collect_suppressions(paths)
+        try:
+            payload = update_baseline(args.update_baseline, records)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(
+            f"fraclint: baseline updated at {args.update_baseline} "
+            f"({payload['total']} suppression(s) in {len(payload['counts'])} "
+            f"group(s), {len(payload['notes'])} with audit notes)"
+        )
+        return 0
 
     baseline = None
     if args.baseline:

@@ -24,6 +24,7 @@ __all__ = [
     "BASELINE_VERSION",
     "collect_suppressions",
     "write_baseline",
+    "update_baseline",
     "load_baseline",
     "check_budget",
 ]
@@ -59,6 +60,15 @@ def _group_counts(records: "list[dict]") -> "dict[str, int]":
     return counts
 
 
+def _dump_baseline(path: "Path | str", payload: dict) -> None:
+    target = Path(path)
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot write baseline {target}: {exc}") from exc
+
+
 def write_baseline(path: "Path | str", records: "list[dict]") -> dict:
     """Serialize the current debt to ``path``; returns the payload."""
     payload = {
@@ -66,12 +76,49 @@ def write_baseline(path: "Path | str", records: "list[dict]") -> dict:
         "total": sum(len(r["rules"]) for r in records),
         "counts": _group_counts(records),
     }
+    _dump_baseline(path, payload)
+    return payload
+
+
+def _group_notes(records: "list[dict]") -> "dict[str, list[str]]":
+    notes: dict[str, set] = {}
+    for record in records:
+        if not record["note"]:
+            continue
+        for rule in record["rules"]:
+            notes.setdefault(f"{record['path']}::{rule}", set()).add(record["note"])
+    return {key: sorted(values) for key, values in notes.items()}
+
+
+def update_baseline(path: "Path | str", records: "list[dict]") -> dict:
+    """Regenerate ``path`` mechanically, preserving recorded audit notes.
+
+    Counts are recomputed from the current tree (same ratchet semantics
+    as :func:`write_baseline`), and the payload additionally carries a
+    ``notes`` section: per group, the sorted audit notes currently in the
+    tree, merged with the notes the *previous* baseline recorded for
+    groups that still exist — so the justification written during an
+    audit survives even after the directive that carried it is paid down
+    to a smaller count. The output is deterministic: updating twice with
+    an unchanged tree produces byte-identical files (the round-trip the
+    tests pin).
+    """
+    notes = _group_notes(records)
+    counts = _group_counts(records)
     target = Path(path)
-    try:
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-    except OSError as exc:
-        raise ReproError(f"cannot write baseline {target}: {exc}") from exc
+    if target.exists():
+        previous = load_baseline(target)
+        for key, kept in previous.get("notes", {}).items():
+            if key in counts:
+                merged = set(notes.get(key, [])) | set(kept)
+                notes[key] = sorted(merged)
+    payload = {
+        "version": BASELINE_VERSION,
+        "total": sum(len(r["rules"]) for r in records),
+        "counts": counts,
+        "notes": notes,
+    }
+    _dump_baseline(path, payload)
     return payload
 
 

@@ -20,17 +20,25 @@ FRL011    fork-safety              worker callables stay side-effect free (whole
 FRL012    registry-completeness    concrete learners/error models register by name
 FRL013    import-layering          the repro.* layer DAG is enforced
 FRL014    checkpoint-write-safety  append I/O goes through torn-tail-safe writers
+FRL015    python-hot-loop          per-iteration fit/numpy loops are batchable
+FRL016    hidden-copy              fancy indexing / concatenation in loops copies arrays
+FRL017    dtype-widening           no silent float32→float64, no per-element scalar math
+FRL018    numerical-safety         no log/exp/div on inferred-possibly-zero values
+FRL019    loop-invariant-alloc     allocations / Gram products hoistable out of loops
 ========  =======================  =====================================================
 
-FRL010–FRL014 are :class:`~repro.analysis.framework.ProjectChecker` rules:
+FRL010–FRL019 are :class:`~repro.analysis.framework.ProjectChecker` rules:
 they run on the whole-program index/call graph under
 :func:`~repro.analysis.framework.run_analysis` and are no-ops under the
-file-local :func:`~repro.analysis.framework.analyze_file`.
+file-local :func:`~repro.analysis.framework.analyze_file`. FRL015–FRL019
+(fraclint v3) additionally share the interprocedural shape/dtype fixed
+point of :mod:`repro.analysis.shapes`; see docs/performance.md for the
+rules and the optimization-ledger workflow.
 
 See docs/invariants.md for rationale and suppression policy, and
 ``python -m repro.analysis --explain FRL0NN`` for per-rule cards.
 """
 
-from repro.analysis.checkers import contracts, flow, hygiene, numerics, rng
+from repro.analysis.checkers import contracts, flow, hygiene, numerics, perf, rng
 
-__all__ = ["rng", "numerics", "contracts", "hygiene", "flow"]
+__all__ = ["rng", "numerics", "contracts", "hygiene", "flow", "perf"]

@@ -1,0 +1,190 @@
+"""Performance rules FRL015–FRL019 (fraclint v3).
+
+Thin rule shells over :func:`repro.analysis.perf.analyze_performance`:
+the shared shape/dtype fixed point and the hooked replay run once per
+:class:`~repro.analysis.framework.ProjectContext` (lazily, cached on the
+context), and each rule here filters the findings it owns. All five are
+:class:`~repro.analysis.framework.ProjectChecker` rules — they need the
+call graph and interprocedural summaries, so they are no-ops under the
+file-local ``analyze_file``.
+
+Suppression policy: performance findings at *measured-hot, intentionally
+deferred* sites (the per-feature fit loop PR 7 will batch) carry audited
+``# fraclint: disable=FRL01x`` comments; the optimization ledger
+(:mod:`repro.analysis.ledger`) still includes them, annotated with their
+audit note, so deferral never hides the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.framework import (
+    ProjectChecker,
+    ProjectContext,
+    Violation,
+    register,
+)
+
+
+def _emit(project: ProjectContext, rule: str) -> Iterator[Violation]:
+    for finding in project.perf:
+        if finding.rule == rule:
+            yield Violation(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule=finding.rule,
+                message=finding.message,
+            )
+
+
+@register
+class PythonHotLoopChecker(ProjectChecker):
+    """Batchable Python-level hot loops.
+
+    Invariant:
+        Library code must not run a Python ``for`` loop that does
+        per-iteration learner or numpy work over rows/features of one
+        array: a loop dispatching ``.fit`` on slices of a loop-invariant
+        array, or a ``range()`` loop over an inferred array dimension
+        with numpy work per index, is the interpreter-bound ``O(f)``
+        pattern the FRaC paper profiles — it must be batched or carry an
+        audited deferral note.
+
+    Example violation:
+        for j in range(x.shape[1]):
+            mu[j] = np.nanmean(x[:, j])
+
+    Fix:
+        Replace the loop with one vectorized call
+        (``mu = np.nanmean(x, axis=0)``), or — when the batch rewrite is
+        deferred — add ``# fraclint: disable=FRL015`` with a note naming
+        the follow-up, so the ledger tracks it against measured time.
+    """
+
+    rule = "FRL015"
+    name = "python-hot-loop"
+    description = "Python for-loops doing per-iteration fit/numpy work are batchable"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        return _emit(project, self.rule)
+
+
+@register
+class HiddenCopyChecker(ProjectChecker):
+    """Array copies hidden inside loops.
+
+    Invariant:
+        Inside library loops, operations that *materialize* a fresh
+        array per iteration — fancy/boolean index loads, the
+        ``np.concatenate``/``vstack`` family, and non-contiguous
+        slice→``ravel`` chains — must be batched, preallocated, or
+        carry an audited note: each one is an O(n) allocation+copy the
+        loop multiplies.
+
+    Example violation:
+        for fold in folds:
+            train = np.concatenate([f for f in folds if f is not fold])
+
+    Fix:
+        Gather once outside the loop (a single fancy index is fine),
+        preallocate the output buffer, or restructure so views suffice;
+        audited deferrals use ``# fraclint: disable=FRL016``.
+    """
+
+    rule = "FRL016"
+    name = "hidden-copy"
+    description = "fancy indexing / concatenation inside loops copies arrays per iteration"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        return _emit(project, self.rule)
+
+
+@register
+class DtypeWideningChecker(ProjectChecker):
+    """Silent float32 → float64 widening and per-element scalar math.
+
+    Invariant:
+        float32 data must stay float32 through library arithmetic:
+        mixing it with float64 operands (or widening it via ``astype``)
+        silently doubles memory traffic, and Python-scalar math on
+        individual array elements drops to interpreter speed while
+        round-tripping every element through a Python float.
+
+    Example violation:
+        x32 = x.astype(np.float32)
+        y = x32 * np.ones(len(x32))  # float64 ones: the product widens
+
+    Fix:
+        Keep dtypes aligned (``np.ones(..., dtype=x32.dtype)``), widen
+        once at an explicit boundary if float64 is required, and replace
+        per-element loops with whole-array expressions.
+    """
+
+    rule = "FRL017"
+    name = "dtype-widening"
+    description = "float32 silently widened to float64, or scalar math on array elements"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        return _emit(project, self.rule)
+
+
+@register
+class NumericalSafetyChecker(ProjectChecker):
+    """Unguarded log/exp/division on inferred-possibly-zero values.
+
+    Invariant:
+        Where dataflow *infers* that a value's range includes zero
+        (counts from ``bincount``, ``zeros`` accumulators, ``std`` of
+        possibly-constant data — lattice range ``nonneg``), it must not
+        reach ``log`` or a denominator unguarded; likewise ``exp`` on
+        float32 overflows at ~88.7. This generalizes FRL003 from
+        literal call sites to inferred value ranges; it stays silent
+        when the range is unknown.
+
+    Example violation:
+        counts = np.bincount(codes)
+        logp = np.log(counts / counts.sum())
+
+    Fix:
+        Guard the zero case before the op (mask, ``clip``, smoothing
+        constant, ``log1p``), or prove positivity upstream so the
+        inferred range becomes ``pos``.
+    """
+
+    rule = "FRL018"
+    name = "numerical-safety"
+    description = "log/exp/division on values whose inferred range admits zero"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        return _emit(project, self.rule)
+
+
+@register
+class LoopInvariantAllocChecker(ProjectChecker):
+    """Hoistable allocations and recomputation inside loops.
+
+    Invariant:
+        An allocation (``np.zeros``/``full``/``tile`` family) or a
+        Gram-style linear-algebra product (``dot``/``matmul``/
+        ``linalg.solve``...) whose arguments are all loop-invariant must
+        not sit inside the loop: every iteration pays an identical
+        allocation or O(n·d²) recomputation for the same result.
+
+    Example violation:
+        for step in range(n_iter):
+            gram = x.T @ x  # x never changes inside the loop
+            w = w - lr * (gram @ w)
+
+    Fix:
+        Hoist the computation above the loop (or cache it on first use);
+        for buffers, allocate once and overwrite in place.
+    """
+
+    rule = "FRL019"
+    name = "loop-invariant-alloc"
+    description = "loop-invariant allocations / Gram products recomputed every iteration"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        return _emit(project, self.rule)

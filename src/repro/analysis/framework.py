@@ -300,6 +300,7 @@ class ProjectContext:
     def __init__(self, index) -> None:
         self.index = index
         self._graph = None
+        self._perf = None
 
     @property
     def graph(self):
@@ -308,6 +309,20 @@ class ProjectContext:
 
             self._graph = build_call_graph(self.index)
         return self._graph
+
+    @property
+    def perf(self):
+        """FRL015–FRL019 findings, computed once per context.
+
+        The shape fixed point and the hooked replays are shared by all
+        five performance rules and by the optimization ledger, so the
+        pass runs at most once however many consumers ask.
+        """
+        if self._perf is None:
+            from repro.analysis.perf import analyze_performance
+
+            self._perf = analyze_performance(self)
+        return self._perf
 
 
 @dataclass

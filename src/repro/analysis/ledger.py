@@ -1,0 +1,240 @@
+"""The optimization ledger: static perf findings priced by measured time.
+
+``python -m repro.analysis --profile trace.jsonl`` joins the two halves
+fraclint v3 provides:
+
+- the **static** half — every FRL015–FRL019 finding on the scanned tree,
+  *including audited-suppressed ones* (a deferral note hides a finding
+  from the lint gate, never from the ledger);
+- the **measured** half — a fracscope trace's span wall/CPU time folded
+  onto call-graph qualnames via
+  :func:`repro.telemetry.trace.attribute_trace`.
+
+Each finding is attributed the cost of the nearest measured qualname:
+its own function if a span maps there directly, else the closest
+measured *ancestor* in the call graph (a finding inside
+``run_feature_task`` inherits the ``fit.train`` span; a finding in a
+learner called from it rolls up the same way). Entries are ranked by
+attributed wall time — ties break toward lower rule id and line — so
+the per-feature fit loop the paper profiles lands at #1 and the batch
+rewrite (ROADMAP Open item 1) starts from a machine-generated target
+list. Findings no span covers rank after all measured ones: unmeasured,
+not free.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.trace import AttributedCost, attribute_trace, read_trace
+
+__all__ = ["LedgerEntry", "Ledger", "build_ledger", "render_ledger", "render_ledger_json"]
+
+
+@dataclass
+class LedgerEntry:
+    """One ranked row: a finding plus the measured cost it inherits."""
+
+    rank: int
+    rule: str
+    path: str
+    line: int
+    qualname: str
+    message: str
+    wall_s: "float | None"  # None: no span covers this code
+    cpu_s: "float | None"
+    n_spans: int = 0
+    n_tasks: int = 0
+    #: Qualname whose span supplied the cost (may be an ancestor).
+    attributed_via: "str | None" = None
+    audited: bool = False
+    audit_note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "qualname": self.qualname,
+            "message": self.message,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "n_spans": self.n_spans,
+            "n_tasks": self.n_tasks,
+            "attributed_via": self.attributed_via,
+            "audited": self.audited,
+            "audit_note": self.audit_note,
+        }
+
+
+@dataclass
+class Ledger:
+    """The full ranked ledger plus its provenance."""
+
+    trace_path: str
+    n_events: int
+    entries: list = field(default_factory=list)
+    #: Findings with no audit note: the acceptance gate requires zero.
+    n_unaudited: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "trace": self.trace_path,
+            "n_events": self.n_events,
+            "n_findings": len(self.entries),
+            "n_unaudited": self.n_unaudited,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+def _audit_for(project, finding) -> "tuple[bool, str]":
+    """(suppressed?, audit note) for a finding's site."""
+    module = project.index.by_path(finding.path)
+    if module is None:
+        return False, ""
+    if not module.is_suppressed(finding.rule, finding.line):
+        return False, ""
+    note = ""
+    for record in module.suppressions:
+        if "*" not in record["rules"] and finding.rule not in record["rules"]:
+            continue
+        if record["scope"] == "file" or record["line"] == finding.line:
+            note = record.get("note", "")
+            break
+    return True, note
+
+
+def _cost_for(project, qualname: str,
+              costs: "dict[str, AttributedCost]") -> "tuple[AttributedCost | None, str | None]":
+    """Measured cost a function inherits, and the qualname it came from.
+
+    Exact match first; then a measured *prefix* (a method finding inherits
+    its class-mapped span); then the nearest measured ancestor by
+    call-graph reachability (the learner called from ``run_feature_task``
+    inherits ``fit.train``). Among several reachable ancestors the one
+    with the largest wall time wins — attribution is an upper bound, and
+    the ledger says which span it came from.
+    """
+    if qualname in costs:
+        return costs[qualname], qualname
+    for measured, cost in sorted(costs.items()):
+        if qualname.startswith(measured + ".") or measured.startswith(qualname + "."):
+            return cost, measured
+    graph = project.graph
+    best: "AttributedCost | None" = None
+    best_key: "str | None" = None
+    for measured, cost in sorted(costs.items()):
+        if graph.node(measured) is None:
+            continue
+        if qualname in graph.reachable_from([measured]):
+            if best is None or cost.wall_s > best.wall_s:
+                best, best_key = cost, measured
+    return best, best_key
+
+
+def build_ledger(project, trace_path: "str | Path") -> Ledger:
+    """Join the project's perf findings with one trace's measured costs."""
+    result = read_trace(trace_path)
+    costs = attribute_trace(result.records)
+
+    rows = []
+    for finding in project.perf:
+        audited, note = _audit_for(project, finding)
+        cost, via = _cost_for(project, finding.qualname, costs)
+        rows.append((finding, cost, via, audited, note))
+
+    def sort_key(row):
+        finding, cost, _via, _audited, _note = row
+        wall = cost.wall_s if cost is not None else -1.0
+        return (-wall, finding.rule, finding.path, finding.line)
+
+    rows.sort(key=sort_key)
+    ledger = Ledger(trace_path=str(trace_path), n_events=len(result.records))
+    for rank, (finding, cost, via, audited, note) in enumerate(rows, start=1):
+        ledger.entries.append(
+            LedgerEntry(
+                rank=rank,
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                qualname=finding.qualname,
+                message=finding.message,
+                wall_s=None if cost is None else round(cost.wall_s, 6),
+                cpu_s=None if cost is None else round(cost.cpu_s, 6),
+                n_spans=0 if cost is None else cost.n_spans,
+                n_tasks=0 if cost is None else cost.n_tasks,
+                attributed_via=via,
+                audited=audited,
+                audit_note=note,
+            )
+        )
+        if not audited:
+            ledger.n_unaudited += 1
+    return ledger
+
+
+def render_ledger(ledger: Ledger) -> str:
+    """Markdown rendering (the committed ``docs/optimization-ledger.md``)."""
+    lines = [
+        "# Optimization ledger",
+        "",
+        "Machine-generated by `python -m repro.analysis --profile "
+        f"{ledger.trace_path} --format ledger`: every FRL015–FRL019",
+        "finding (audited suppressions included), ranked by the wall time",
+        "of the nearest measured fracscope span. See docs/performance.md",
+        "for the workflow.",
+        "",
+        f"- trace: `{ledger.trace_path}` ({ledger.n_events} event(s))",
+        f"- findings: {len(ledger.entries)} "
+        f"({ledger.n_unaudited} unaudited — the CI gate requires 0)",
+        "",
+        "| # | wall s | cpu s | rule | site | finding |",
+        "|--:|-------:|------:|------|------|---------|",
+    ]
+    for entry in ledger.entries:
+        wall = f"{entry.wall_s:.3f}" if entry.wall_s is not None else "—"
+        cpu = f"{entry.cpu_s:.3f}" if entry.cpu_s is not None else "—"
+        site = f"`{entry.path}:{entry.line}`"
+        detail = entry.message
+        extras = []
+        if entry.n_tasks:
+            extras.append(f"{entry.n_tasks} task(s)")
+        if entry.attributed_via and entry.attributed_via != entry.qualname:
+            extras.append(f"via `{entry.attributed_via}`")
+        if entry.audited:
+            extras.append(f"audited: {entry.audit_note}" if entry.audit_note else "audited")
+        if extras:
+            detail += " — " + "; ".join(extras)
+        lines.append(
+            f"| {entry.rank} | {wall} | {cpu} | {entry.rule} | {site} | {detail} |"
+        )
+    if not ledger.entries:
+        lines.append("| — | — | — | — | — | no FRL015–FRL019 findings |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_ledger_json(ledger: Ledger) -> str:
+    return json.dumps(ledger.to_dict(), indent=2, sort_keys=True)
+
+
+def ledger_violation_rows(ledger: Ledger) -> list:
+    """Ledger entries as Violation-shaped rows for the SARIF renderer."""
+    from repro.analysis.framework import Violation
+
+    rows = []
+    for entry in ledger.entries:
+        wall = f"{entry.wall_s:.3f}s" if entry.wall_s is not None else "unmeasured"
+        rows.append(
+            Violation(
+                path=entry.path,
+                line=entry.line,
+                col=1,
+                rule=entry.rule,
+                message=f"[ledger #{entry.rank}, {wall}] {entry.message}",
+            )
+        )
+    return rows

@@ -1,0 +1,301 @@
+"""Performance findings: the FRL015–FRL019 analysis pass.
+
+Runs the interprocedural :class:`~repro.analysis.shapes.ShapeEngine` to a
+fixed point, then replays every library function once more with
+:class:`PerfHooks` attached, turning lattice facts into
+:class:`PerfFinding` records:
+
+- **FRL015 python-hot-loop** — a Python ``for`` loop that dispatches a
+  learner ``fit`` per iteration on rows sliced from a loop-invariant
+  array, or iterates ``range()`` over an array dimension doing numpy
+  work per index. Both are batchable (the paper's ``O(f)`` fit loop).
+- **FRL016 hidden-copy** — fancy/boolean indexing, ``np.concatenate``
+  family calls inside loops, and non-contiguous slice→``ravel`` chains:
+  each materializes a fresh array per iteration.
+- **FRL017 dtype-widening** — float32 data silently promoted to float64
+  (mixed-dtype arithmetic, widening ``astype``) and scalar Python math
+  on array elements.
+- **FRL018 numerical-safety** — ``log``/``exp``/division applied to
+  values whose *inferred* range admits zero (``nonneg``) or whose dtype
+  overflows (``exp`` on float32). Generalizes FRL003 from literal sites
+  to dataflow-inferred ranges; fires only on positive evidence, never on
+  ``unknown``.
+- **FRL019 loop-invariant-alloc** — allocations and Gram-style
+  linear-algebra calls inside a loop none of whose argument names vary
+  across iterations: hoistable.
+
+Findings anchor in the function that exhibits them (``qualname``), which
+is also the join key the optimization ledger uses to pair them with
+measured span time (:mod:`repro.analysis.ledger`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.shapes import (
+    ALLOC_FUNCTIONS,
+    CONCAT_FUNCTIONS,
+    GRAM_FUNCTIONS,
+    AbstractValue,
+    FunctionEvaluator,
+    Hooks,
+    ShapeEngine,
+    _dtype_from_expr,
+)
+
+__all__ = ["PerfFinding", "analyze_performance", "PERF_RULES"]
+
+PERF_RULES = ("FRL015", "FRL016", "FRL017", "FRL018", "FRL019")
+
+
+@dataclass(frozen=True, order=True)
+class PerfFinding:
+    """One performance finding, ready to become a Violation or ledger row."""
+
+    path: str
+    line: int
+    col: int  # 1-based, Violation convention
+    rule: str
+    qualname: str
+    message: str
+
+
+class PerfHooks(Hooks):
+    """Turn evaluator observations into FRL015–FRL019 findings."""
+
+    def __init__(self, module, qualname: str) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.findings: set[PerfFinding] = set()
+        #: id(frame) of dim-range loops already reported (FRL015b).
+        self._reported_dim_loops: set[int] = set()
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.add(
+            PerfFinding(
+                path=self.module.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                qualname=self.qualname,
+                message=message,
+            )
+        )
+
+    # -- FRL015b: dim-range loops doing per-index numpy work -------------
+
+    def _innermost_dim_frame(self, ev: FunctionEvaluator):
+        for frame in reversed(ev.loops):
+            if frame.dim_range:
+                return frame
+        return None
+
+    def _mark_dim_loop_hot(self, ev: FunctionEvaluator) -> None:
+        frame = self._innermost_dim_frame(ev)
+        if frame is None or id(frame) in self._reported_dim_loops:
+            return
+        self._reported_dim_loops.add(id(frame))
+        self._emit(
+            "FRL015",
+            frame.node,
+            "Python loop over an array dimension does numpy work per index; "
+            "batch it into one vectorized operation (docs/performance.md)",
+        )
+
+    # -- hook points -----------------------------------------------------
+
+    def on_call(self, node, dotted, arg_values, result, ev: FunctionEvaluator) -> None:
+        in_loop = ev.loop_depth() > 0
+        numpy_name = dotted[len("numpy."):] if dotted and dotted.startswith("numpy.") else None
+
+        # FRL015a: per-iteration fit on rows sliced from invariant data.
+        if in_loop and dotted is not None and (dotted == "fit" or dotted.endswith(".fit")):
+            for arg in node.args:
+                if not isinstance(arg, ast.Subscript):
+                    continue
+                index_names = ev.names_in(arg.slice)
+                if any(ev.is_loop_carried(name) for name in index_names):
+                    self._emit(
+                        "FRL015",
+                        ev.loops[-1].node,
+                        "Python loop dispatches .fit per iteration on rows "
+                        "sliced from a loop-invariant array; batch the "
+                        "per-iteration fits (docs/performance.md)",
+                    )
+                    break
+
+        # FRL015b trigger: numpy work inside a dim-range loop.
+        if numpy_name is not None and self._innermost_dim_frame(ev) is not None:
+            self._mark_dim_loop_hot(ev)
+
+        # FRL016: concat-family materialization per iteration.
+        if in_loop and numpy_name in CONCAT_FUNCTIONS:
+            self._emit(
+                "FRL016",
+                node,
+                f"np.{numpy_name} inside a loop materializes a new array "
+                "each iteration; preallocate or batch the concatenation",
+            )
+
+        # FRL016: non-contiguous slice -> ravel/flatten copy chain.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("ravel", "flatten")
+            and isinstance(node.func.value, ast.Subscript)
+            and self._non_contiguous_slice(node.func.value)
+        ):
+            self._emit(
+                "FRL016",
+                node,
+                f"non-contiguous slice followed by .{node.func.attr}() forces "
+                "a copy; slice the contiguous axis or keep the view",
+            )
+
+        # FRL017: widening astype on float32 data.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            receiver = ev.eval(node.func.value)
+            target = _dtype_from_expr(node.args[0] if node.args else None, ev.resolve)
+            if receiver.dtype == "float32" and target == "float64":
+                self._emit(
+                    "FRL017",
+                    node,
+                    "float32 array widened to float64 via astype; keep the "
+                    "narrow dtype through the pipeline or widen once at the edge",
+                )
+
+        # FRL018: log of a possibly-zero (inferred nonneg) value.
+        if numpy_name in ("log", "log2", "log10") or dotted in (
+            "math.log", "math.log2", "math.log10"
+        ):
+            arg = arg_values[0] if arg_values else AbstractValue()
+            if arg.rng == "nonneg" and not arg.from_dim:
+                self._emit(
+                    "FRL018",
+                    node,
+                    "log of a value whose inferred range includes zero "
+                    "(nonneg); guard the zero case, clip, or use log1p",
+                )
+
+        # FRL018: exp on float32 overflows at ~88.7.
+        if numpy_name == "exp" and arg_values and arg_values[0].dtype == "float32":
+            self._emit(
+                "FRL018",
+                node,
+                "exp on float32 data overflows to inf at ~88.7; widen to "
+                "float64 or bound the exponent first",
+            )
+
+        # FRL019: loop-invariant allocation / Gram-style recomputation.
+        if in_loop and numpy_name is not None and not ev.carries_loop_state(node):
+            if numpy_name in ALLOC_FUNCTIONS:
+                self._emit(
+                    "FRL019",
+                    node,
+                    f"np.{numpy_name} allocates the same array every "
+                    "iteration; hoist it out of the loop or reuse a buffer",
+                )
+            elif numpy_name in GRAM_FUNCTIONS:
+                self._emit(
+                    "FRL019",
+                    node,
+                    f"np.{numpy_name} recomputes a loop-invariant product "
+                    "every iteration; hoist it out of the loop",
+                )
+
+    def on_binop(self, node, left: AbstractValue, right: AbstractValue,
+                 ev: FunctionEvaluator) -> None:
+        # FRL017a: mixed float32/float64 arithmetic silently widens.
+        if {left.dtype, right.dtype} == {"float32", "float64"}:
+            self._emit(
+                "FRL017",
+                node,
+                "mixed float32/float64 arithmetic silently widens to "
+                "float64 (and copies); align the dtypes explicitly",
+            )
+        # FRL017c: scalar Python math on array elements.
+        if (left.from_elem or right.from_elem) and not (
+            left.is_array() or right.is_array()
+        ):
+            self._emit(
+                "FRL017",
+                node,
+                "scalar Python arithmetic on array elements; operate on "
+                "the whole array instead of element-by-element",
+            )
+        # FRL019: loop-invariant matmul (``x.T @ x`` Gram recomputation).
+        if (
+            isinstance(node.op, ast.MatMult)
+            and ev.loop_depth() > 0
+            and not ev.carries_loop_state(node)
+        ):
+            self._emit(
+                "FRL019",
+                node,
+                "@-product of loop-invariant operands recomputed every "
+                "iteration; hoist it out of the loop",
+            )
+        # FRL018: division by a possibly-zero (inferred nonneg) value.
+        # Dimension-derived denominators (n = x.shape[0]) are excluded:
+        # emptiness is rejected at the validation boundary (check_2d).
+        if (
+            isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod))
+            and right.rng == "nonneg"
+            and not right.from_dim
+        ):
+            self._emit(
+                "FRL018",
+                node,
+                "division by a value whose inferred range includes zero "
+                "(nonneg); guard the zero case or add a floor",
+            )
+
+    def on_subscript_load(self, node, base: AbstractValue, fancy: bool,
+                          ev: FunctionEvaluator) -> None:
+        if ev.loop_depth() == 0:
+            return
+        # FRL015b trigger: array access inside a dim-range loop.
+        if (fancy or base.is_array()) and self._innermost_dim_frame(ev) is not None:
+            self._mark_dim_loop_hot(ev)
+        # FRL016: fancy (copying) index load per iteration.
+        if fancy:
+            self._emit(
+                "FRL016",
+                node,
+                "fancy/boolean indexing inside a loop copies the selected "
+                "rows each iteration; batch the gather or index once",
+            )
+
+    @staticmethod
+    def _non_contiguous_slice(node: ast.Subscript) -> bool:
+        """``x[:, j]``-style column access, or a stepped slice."""
+        components = (
+            list(node.slice.elts) if isinstance(node.slice, ast.Tuple) else [node.slice]
+        )
+        saw_full_slice = False
+        for component in components:
+            if isinstance(component, ast.Slice):
+                if component.step is not None:
+                    return True
+                saw_full_slice = True
+            elif saw_full_slice:
+                return True  # a full slice before an index: column access
+        return False
+
+
+def analyze_performance(project) -> "list[PerfFinding]":
+    """All FRL015–FRL019 findings across the project's library modules.
+
+    Runs the shape fixed point once, then one hooked replay per function.
+    The result is deterministic (sorted) and cached by the caller
+    (:class:`~repro.analysis.framework.ProjectContext.perf`).
+    """
+    engine = ShapeEngine(project).run()
+    findings: set[PerfFinding] = set()
+    for qualname in engine.functions():
+        module, _funcdef = engine._funcdefs[qualname]
+        hooks = PerfHooks(module, qualname)
+        engine.evaluate(qualname, hooks=hooks)
+        findings.update(hooks.findings)
+    return sorted(findings)

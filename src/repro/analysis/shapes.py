@@ -1,0 +1,1132 @@
+"""Abstract interpretation of numpy expressions: shapes, dtypes, ranges.
+
+The performance rules (FRL015–FRL019) need facts no purely syntactic pass
+can supply: *is this loop bound an array dimension?*, *is this subscript a
+fancy (copying) index?*, *can this log argument be zero?*. This module
+infers them by abstractly executing function bodies over a small value
+lattice:
+
+- ``kind``  — ``array`` / ``scalar`` / ``dim`` (a value read off an array
+  dimension: ``x.shape[i]``, ``len(arr)``) / ``seq`` / ``other`` /
+  ``unknown``;
+- ``rank``  — number of axes when statically evident (literal shape
+  tuples, axis-reducing ops), else ``None``;
+- ``dtype`` — ``bool < int < float32 < float64`` with numpy promotion;
+- ``rng``   — value range: ``pos`` / ``nonneg`` / ``unknown``, following
+  the FRL003 positivity conventions (``abs``/``square``→nonneg, guarded
+  ``x if x > 0 else c`` and ``x[x > 0]`` refine to ``pos``).
+
+Everything degrades to ``unknown`` rather than guessing: a dynamic shape
+or an attribute read the pass cannot see yields no facts, and rules that
+key on positive evidence therefore stay silent (the adversarial fixture
+tests assert exactly this).
+
+Interprocedurally, :class:`ShapeEngine` mirrors the PR-4 taint worklist
+(:mod:`repro.analysis.dataflow`): function summaries (joined parameter
+facts in, return fact out) propagate along resolved call-graph edges to a
+fixed point, so ``x = check_2d(x, "x")`` is known to yield an array three
+modules away from the cast. Unlike the taint engine it replays *ASTs*
+(re-parsed once per module, cached) instead of indexed op summaries: the
+op stream deliberately drops loop structure and attribute chains, both of
+which are the whole point here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+__all__ = ["AbstractValue", "UNKNOWN", "join", "promote_dtype", "ShapeEngine", "FunctionEvaluator"]
+
+#: Dtype lattice in promotion order (numpy semantics for the cases the
+#: rules care about; everything else is None = unknown).
+DTYPE_ORDER = {"bool": 0, "int": 1, "float32": 2, "float64": 3}
+
+#: numpy constructor names (sans ``numpy.`` prefix) that allocate a fresh
+#: array whose size is given by their arguments.
+ALLOC_FUNCTIONS = frozenset(
+    {
+        "zeros", "ones", "empty", "full", "eye", "identity",
+        "arange", "linspace", "logspace", "tile",
+        "zeros_like", "ones_like", "empty_like", "full_like",
+    }
+)
+
+#: numpy functions that materialize a new array by copying inputs.
+CONCAT_FUNCTIONS = frozenset({"concatenate", "vstack", "hstack", "stack", "column_stack", "append"})
+
+#: Linear-algebra work heavy enough that loop-invariant recomputation
+#: (a Gram matrix per iteration) is worth flagging.
+GRAM_FUNCTIONS = frozenset(
+    {"dot", "matmul", "inner", "outer", "einsum", "linalg.inv", "linalg.solve",
+     "linalg.cholesky", "linalg.pinv", "linalg.lstsq", "linalg.svd", "linalg.eigh"}
+)
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point of the value lattice. Immutable; ``UNKNOWN`` is the top."""
+
+    kind: str = "unknown"  # array | scalar | dim | seq | other | unknown
+    rank: "int | None" = None
+    dtype: "str | None" = None
+    rng: str = "unknown"  # pos | nonneg | unknown
+    #: True when the value derives from an array dimension (``x.shape[i]``,
+    #: ``len(arr)``, or a ``range()`` over such a value).
+    from_dim: bool = False
+    #: True for scalars obtained by Python-iterating an array (FRL017c).
+    from_elem: bool = False
+
+    def is_array(self) -> bool:
+        return self.kind == "array"
+
+    def is_index_scalar(self) -> bool:
+        """Safe basic-indexing subscript: an integer-like scalar or dim."""
+        return self.kind in ("dim", "scalar") and self.dtype in (None, "bool", "int")
+
+
+UNKNOWN = AbstractValue()
+
+
+def promote_dtype(a: "str | None", b: "str | None") -> "str | None":
+    if a is None or b is None:
+        return None
+    return a if DTYPE_ORDER[a] >= DTYPE_ORDER[b] else b
+
+
+def _join_rng(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if {a, b} == {"pos", "nonneg"}:
+        return "nonneg"
+    return "unknown"
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound: keep only facts both branches agree on."""
+    if a == b:
+        return a
+    return AbstractValue(
+        kind=a.kind if a.kind == b.kind else "unknown",
+        rank=a.rank if a.rank == b.rank else None,
+        dtype=a.dtype if a.dtype == b.dtype else None,
+        rng=_join_rng(a.rng, b.rng),
+        from_dim=a.from_dim and b.from_dim,
+        from_elem=a.from_elem or b.from_elem,
+    )
+
+
+def _const_value(value: object) -> AbstractValue:
+    if isinstance(value, bool):
+        return AbstractValue(kind="scalar", dtype="bool", rng="nonneg")
+    if isinstance(value, int):
+        rng = "pos" if value > 0 else ("nonneg" if value == 0 else "unknown")
+        return AbstractValue(kind="scalar", dtype="int", rng=rng)
+    if isinstance(value, float):
+        rng = "pos" if value > 0 else ("nonneg" if value == 0 else "unknown")
+        return AbstractValue(kind="scalar", dtype="float64", rng=rng)
+    if isinstance(value, str):
+        return AbstractValue(kind="other")
+    return UNKNOWN
+
+
+def _dtype_from_expr(node: "ast.AST | None", resolve) -> "str | None":
+    """Resolve a ``dtype=`` argument to a lattice dtype when evident."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    else:
+        dotted = resolve(node)
+        if dotted is None:
+            return None
+        name = dotted.rsplit(".", 1)[-1]
+    mapping = {
+        "bool": "bool", "bool_": "bool",
+        "int": "int", "intp": "int", "int8": "int", "int16": "int",
+        "int32": "int", "int64": "int", "uint8": "int", "uint16": "int",
+        "uint32": "int", "uint64": "int",
+        "float32": "float32", "single": "float32",
+        "float64": "float64", "float": "float64", "double": "float64",
+    }
+    return mapping.get(name)
+
+
+def _rank_from_shape_arg(node: "ast.AST | None") -> "int | None":
+    """Rank of ``np.zeros(<node>)``-style shape arguments, when literal."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return len(node.elts)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return 1
+    if isinstance(node, ast.Name):
+        return 1  # a bare name shape is a single extent in idiomatic code
+    return None
+
+
+class _LoopFrame:
+    """One active ``for`` loop during evaluation."""
+
+    def __init__(self, node: ast.For, carried: "set[str]", iter_value: AbstractValue,
+                 dim_range: bool) -> None:
+        self.node = node
+        #: Names (re)bound anywhere in the loop body, incl. the targets.
+        self.carried = carried
+        self.iter_value = iter_value
+        #: The loop iterates ``range()`` over an array-dimension value.
+        self.dim_range = dim_range
+
+
+class Hooks:
+    """Observation points :class:`FunctionEvaluator` calls during a replay.
+
+    The perf pass subclasses this; the base class is a no-op so the
+    interprocedural fixed point can run the same evaluator without rule
+    overhead.
+    """
+
+    def on_loop_enter(self, node: ast.For, frame: _LoopFrame, ev: "FunctionEvaluator") -> None:
+        pass
+
+    def on_loop_exit(self, node: ast.For, frame: _LoopFrame, ev: "FunctionEvaluator") -> None:
+        pass
+
+    def on_call(self, node: ast.Call, dotted: "str | None", arg_values: "list[AbstractValue]",
+                result: AbstractValue, ev: "FunctionEvaluator") -> None:
+        pass
+
+    def on_binop(self, node: ast.BinOp, left: AbstractValue, right: AbstractValue,
+                 ev: "FunctionEvaluator") -> None:
+        pass
+
+    def on_subscript_load(self, node: ast.Subscript, base: AbstractValue,
+                          fancy: bool, ev: "FunctionEvaluator") -> None:
+        pass
+
+
+@dataclass
+class _Summary:
+    """One evaluation's interprocedural outcome."""
+
+    #: (callee qualname, param name, AbstractValue) facts flowing out.
+    outgoing: list = field(default_factory=list)
+    return_value: AbstractValue = UNKNOWN
+    saw_return: bool = False
+
+
+class FunctionEvaluator:
+    """Abstractly execute one function body over the value lattice.
+
+    Branches are joined (both arms evaluated on copies of the
+    environment), loops are evaluated once with loop-carried names
+    demoted first — a flow-insensitive over-approximation that can only
+    *lose* facts, never invent them.
+    """
+
+    def __init__(self, module, funcdef: "ast.FunctionDef", qualname: str,
+                 engine: "ShapeEngine | None" = None, hooks: "Hooks | None" = None,
+                 param_facts: "dict[str, AbstractValue] | None" = None) -> None:
+        self.module = module  # ModuleIndex
+        self.funcdef = funcdef
+        self.qualname = qualname
+        self.engine = engine
+        self.hooks = hooks or Hooks()
+        self.env: dict[str, AbstractValue] = {}
+        self.loops: list[_LoopFrame] = []
+        self.summary = _Summary()
+        self._resolutions = self._site_resolutions()
+        for arg in (funcdef.args.posonlyargs + funcdef.args.args + funcdef.args.kwonlyargs):
+            self.env[arg.arg] = (param_facts or {}).get(arg.arg, UNKNOWN)
+
+    # -- context ---------------------------------------------------------
+
+    def _site_resolutions(self) -> dict:
+        if self.engine is None:
+            return {}
+        sites = self.engine.graph.site_resolutions.get(self.qualname, [])
+        return {
+            (op["lineno"], op["col"]): resolution
+            for op, resolution in sites
+            if op["op"] == "call"
+        }
+
+    def resolve(self, node: ast.AST) -> "str | None":
+        """Dotted name of an attribute/name chain via the module's aliases."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        head = self.module.aliases.get(cur.id, cur.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    def numpy_name(self, node: ast.AST) -> "str | None":
+        """``numpy.``-stripped dotted name when the callee is numpy."""
+        dotted = self.resolve(node)
+        if dotted is None or not dotted.startswith("numpy."):
+            return None
+        return dotted[len("numpy."):]
+
+    def loop_depth(self) -> int:
+        return len(self.loops)
+
+    def is_loop_carried(self, name: str) -> bool:
+        return any(name in frame.carried for frame in self.loops)
+
+    def names_in(self, node: ast.AST) -> "set[str]":
+        return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+    def carries_loop_state(self, node: ast.AST) -> bool:
+        """Does any name in ``node`` vary across the innermost loops?"""
+        return any(self.is_loop_carried(name) for name in self.names_in(node))
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self) -> _Summary:
+        self.visit_body(self.funcdef.body)
+        return self.summary
+
+    def visit_body(self, body: "list[ast.stmt]") -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    # -- statements ------------------------------------------------------
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.env[stmt.name] = AbstractValue(kind="other")
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value, source=stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value), source=stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self.eval(ast.Name(id=t, ctx=ast.Load())) if isinstance(
+                stmt.target, ast.Name) and (t := stmt.target.id) else UNKNOWN
+            update = self.eval(stmt.value)
+            synthetic = ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value)
+            ast.copy_location(synthetic, stmt)
+            self.hooks.on_binop(synthetic, current, update, self)
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = join(current, self._binop_value(stmt.op, current, update))
+            elif isinstance(stmt.target, ast.Subscript):
+                self.eval(stmt.target.value)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value) if stmt.value is not None else AbstractValue(kind="other")
+            if self.summary.saw_return:
+                self.summary.return_value = join(self.summary.return_value, value)
+            else:
+                self.summary.return_value = value
+                self.summary.saw_return = True
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._visit_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self._demote(self._store_names(stmt.body))
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            before = dict(self.env)
+            self.visit_body(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self.visit_body(stmt.orelse)
+            self.env = self._join_envs(after_body, self.env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value, source=item.context_expr)
+            self.visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.visit_body(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env[handler.name] = UNKNOWN
+                self.visit_body(handler.body)
+            self.visit_body(stmt.orelse)
+            self.visit_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _visit_for(self, stmt: ast.For) -> None:
+        iter_value = self.eval(stmt.iter)
+        carried = self._store_names(stmt.body) | set(self._target_names(stmt.target))
+        self._demote(self._store_names(stmt.body) - set(self._target_names(stmt.target)))
+        self._bind_loop_target(stmt.target, stmt.iter, iter_value)
+        frame = _LoopFrame(stmt, carried, iter_value, dim_range=iter_value.from_dim
+                           and iter_value.kind == "seq")
+        self.loops.append(frame)
+        self.hooks.on_loop_enter(stmt, frame, self)
+        self.visit_body(stmt.body)
+        self.hooks.on_loop_exit(stmt, frame, self)
+        self.loops.pop()
+        self.visit_body(stmt.orelse)
+
+    def _bind_loop_target(self, target: ast.AST, iter_expr: ast.AST,
+                          iter_value: AbstractValue) -> None:
+        """Bind loop targets from the iterable's element abstraction."""
+        if iter_value.kind == "seq":
+            if iter_value.from_dim or iter_value.dtype == "int":
+                element = AbstractValue(
+                    kind="dim" if iter_value.from_dim else "scalar",
+                    dtype="int",
+                    rng="nonneg",
+                    from_dim=iter_value.from_dim,
+                )
+            else:
+                element = UNKNOWN
+        elif iter_value.is_array():
+            # Iterating a 1-D array yields Python scalars (FRL017c fodder);
+            # higher ranks yield sub-arrays.
+            if iter_value.rank == 1:
+                element = AbstractValue(kind="scalar", dtype=iter_value.dtype,
+                                        rng=iter_value.rng, from_elem=True)
+            else:
+                element = AbstractValue(kind="array", dtype=iter_value.dtype,
+                                        rng=iter_value.rng, from_elem=iter_value.rank is None)
+        else:
+            element = UNKNOWN
+        # ``enumerate(...)``: (index, element) pairs.
+        enumerated = (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id == "enumerate"
+        )
+        if enumerated and isinstance(target, (ast.Tuple, ast.List)) and len(target.elts) == 2:
+            inner = self.eval(iter_expr.args[0]) if iter_expr.args else UNKNOWN
+            index = AbstractValue(kind="scalar", dtype="int", rng="nonneg")
+            self._bind(target.elts[0], index)
+            self._bind_loop_target(target.elts[1], iter_expr.args[0] if iter_expr.args else
+                                   ast.Constant(value=None), inner)
+            return
+        self._bind(target, element)
+
+    # -- binding helpers -------------------------------------------------
+
+    def _target_names(self, target: ast.AST) -> "list[str]":
+        names: list[str] = []
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                names.extend(self._target_names(element))
+        elif isinstance(target, ast.Starred):
+            names.extend(self._target_names(target.value))
+        return names
+
+    def _store_names(self, body: "list[ast.stmt]") -> "set[str]":
+        names: set[str] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                    names.add(node.id)
+                elif isinstance(node, (ast.Subscript, ast.Attribute)) and isinstance(
+                        node.ctx, ast.Store):
+                    base = node.value
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if isinstance(base, ast.Name):
+                        names.add(base.id)
+        return names
+
+    def _demote(self, names: "set[str]") -> None:
+        for name in names:
+            self.env[name] = UNKNOWN
+
+    def _bind(self, target: ast.AST, value: AbstractValue,
+              source: "ast.AST | None" = None) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # ``n, f = codes.shape`` — destructuring a dims sequence gives
+            # every target a dim scalar; tuple literals destructure 1:1.
+            if value.kind == "seq" and value.from_dim:
+                for element in target.elts:
+                    self._bind(element, AbstractValue(kind="dim", dtype="int",
+                                                      rng="nonneg", from_dim=True))
+                return
+            if isinstance(source, ast.Tuple) and len(source.elts) == len(target.elts):
+                for element, src in zip(target.elts, source.elts):
+                    self._bind(element, self.eval(src), source=src)
+                return
+            for element in target.elts:
+                self._bind(element, UNKNOWN)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, UNKNOWN)
+        # Subscript/Attribute stores mutate a container; its binding stays.
+
+    def _join_envs(self, a: dict, b: dict) -> dict:
+        out: dict[str, AbstractValue] = {}
+        for name in set(a) | set(b):
+            out[name] = join(a.get(name, UNKNOWN), b.get(name, UNKNOWN))
+        return out
+
+    # -- expressions -----------------------------------------------------
+
+    def eval(self, node: "ast.AST | None") -> AbstractValue:
+        if node is None:
+            return UNKNOWN
+        method = getattr(self, f"_eval_{type(node).__name__.lower()}", None)
+        if method is not None:
+            return method(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return UNKNOWN
+
+    def _eval_constant(self, node: ast.Constant) -> AbstractValue:
+        return _const_value(node.value)
+
+    def _eval_name(self, node: ast.Name) -> AbstractValue:
+        return self.env.get(node.id, UNKNOWN)
+
+    def _eval_attribute(self, node: ast.Attribute) -> AbstractValue:
+        base = self.eval(node.value)
+        if node.attr == "shape":
+            return AbstractValue(kind="seq", from_dim=True)
+        if node.attr in ("ndim", "size"):
+            return AbstractValue(kind="dim", dtype="int", rng="nonneg", from_dim=True)
+        if node.attr == "T":
+            return base if base.is_array() else UNKNOWN
+        if node.attr == "dtype":
+            return AbstractValue(kind="other")
+        dotted = self.resolve(node)
+        if dotted in ("numpy.pi", "numpy.e", "math.pi", "math.e"):
+            return AbstractValue(kind="scalar", dtype="float64", rng="pos")
+        if dotted in ("numpy.inf",):
+            return AbstractValue(kind="scalar", dtype="float64", rng="pos")
+        return UNKNOWN
+
+    def _eval_tuple(self, node: ast.Tuple) -> AbstractValue:
+        for element in node.elts:
+            self.eval(element)
+        return AbstractValue(kind="other")
+
+    _eval_list = _eval_tuple
+    _eval_set = _eval_tuple
+
+    def _eval_dict(self, node: ast.Dict) -> AbstractValue:
+        for child in list(node.keys) + list(node.values):
+            if child is not None:
+                self.eval(child)
+        return AbstractValue(kind="other")
+
+    def _eval_joinedstr(self, node: ast.JoinedStr) -> AbstractValue:
+        for child in node.values:
+            self.eval(child)
+        return AbstractValue(kind="other")
+
+    def _eval_formattedvalue(self, node: ast.FormattedValue) -> AbstractValue:
+        self.eval(node.value)
+        return AbstractValue(kind="other")
+
+    def _eval_ifexp(self, node: ast.IfExp) -> AbstractValue:
+        self.eval(node.test)
+        body = self._refine_positive(node.body, node.test, self.eval(node.body))
+        orelse = self.eval(node.orelse)
+        return join(body, orelse)
+
+    def _refine_positive(self, expr: ast.AST, test: ast.AST,
+                         value: AbstractValue) -> AbstractValue:
+        """``x if x > 0 else d`` — inside the guarded arm, x is positive."""
+        if not isinstance(expr, ast.Name):
+            return value
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], (ast.Gt, ast.GtE))
+            and isinstance(test.left, ast.Name)
+            and test.left.id == expr.id
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+        ):
+            bound = test.comparators[0].value
+            if isinstance(bound, (int, float)) and not isinstance(bound, bool):
+                if bound > 0 or (bound == 0 and isinstance(test.ops[0], ast.Gt)):
+                    return replace(value, rng="pos")
+                if bound == 0:
+                    return replace(value, rng=_join_rng(value.rng, "nonneg")
+                                   if value.rng == "pos" else "nonneg")
+        if isinstance(test, ast.Name) and test.id == expr.id:
+            # ``x if x else d`` — truthiness excludes exact zero but not
+            # negatives; only an already-nonneg value is promoted.
+            if value.rng == "nonneg":
+                return replace(value, rng="pos")
+        return value
+
+    def _eval_compare(self, node: ast.Compare) -> AbstractValue:
+        operands = [self.eval(node.left)] + [self.eval(c) for c in node.comparators]
+        if any(v.is_array() for v in operands):
+            ranks = [v.rank for v in operands if v.is_array()]
+            return AbstractValue(kind="array", rank=ranks[0], dtype="bool", rng="nonneg")
+        return AbstractValue(kind="scalar", dtype="bool", rng="nonneg")
+
+    def _eval_boolop(self, node: ast.BoolOp) -> AbstractValue:
+        values = [self.eval(v) for v in node.values]
+        return values[-1] if values else UNKNOWN
+
+    def _eval_unaryop(self, node: ast.UnaryOp) -> AbstractValue:
+        operand = self.eval(node.operand)
+        if isinstance(node.op, ast.Invert):
+            return replace(operand, rng="unknown") if operand.is_array() else operand
+        if isinstance(node.op, ast.Not):
+            return AbstractValue(kind=operand.kind if operand.is_array() else "scalar",
+                                 rank=operand.rank, dtype="bool", rng="nonneg")
+        if isinstance(node.op, ast.USub):
+            return replace(operand, rng="unknown", from_dim=False)
+        return operand
+
+    def _binop_value(self, op: ast.operator, left: AbstractValue,
+                     right: AbstractValue) -> AbstractValue:
+        kind = "array" if left.is_array() or right.is_array() else (
+            "scalar" if {left.kind, right.kind} <= {"scalar", "dim"} else "unknown")
+        rank = left.rank if left.is_array() else right.rank
+        if left.is_array() and right.is_array() and left.rank != right.rank:
+            rank = None
+        dtype = promote_dtype(left.dtype, right.dtype)
+        if isinstance(op, (ast.Add, ast.Mult)):
+            rng = "pos" if "pos" in (left.rng, right.rng) and "unknown" not in (
+                left.rng, right.rng) else (
+                "nonneg" if left.rng == right.rng == "nonneg" else "unknown")
+            if isinstance(op, ast.Mult):
+                rng = ("pos" if left.rng == right.rng == "pos"
+                       else "nonneg" if {left.rng, right.rng} <= {"pos", "nonneg"}
+                       else "unknown")
+        elif isinstance(op, (ast.Div, ast.FloorDiv)):
+            rng = ("pos" if left.rng == "pos" and right.rng == "pos"
+                   else "nonneg" if {left.rng, right.rng} <= {"pos", "nonneg"}
+                   else "unknown")
+            if dtype in ("bool", "int") and isinstance(op, ast.Div):
+                dtype = "float64"
+        elif isinstance(op, ast.Pow):
+            rng = left.rng if left.rng in ("pos", "nonneg") else "unknown"
+        elif isinstance(op, ast.Mod):
+            rng = "nonneg" if right.rng in ("pos", "nonneg") else "unknown"
+        else:
+            rng = "unknown"
+        if isinstance(op, ast.MatMult):
+            kind, rng = "array", "unknown"
+        return AbstractValue(kind=kind, rank=rank, dtype=dtype, rng=rng)
+
+    def _eval_binop(self, node: ast.BinOp) -> AbstractValue:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        self.hooks.on_binop(node, left, right, self)
+        return self._binop_value(node.op, left, right)
+
+    def _eval_subscript(self, node: ast.Subscript) -> AbstractValue:
+        base = self.eval(node.value)
+        # ``x.shape[i]`` — a dimension read, whatever x is.
+        if isinstance(node.value, ast.Attribute) and node.value.attr == "shape":
+            self.eval(node.slice)
+            return AbstractValue(kind="dim", dtype="int", rng="nonneg", from_dim=True)
+        if base.kind == "seq" and base.from_dim:
+            self.eval(node.slice)
+            return AbstractValue(kind="dim", dtype="int", rng="nonneg", from_dim=True)
+        components = (list(node.slice.elts) if isinstance(node.slice, ast.Tuple)
+                      else [node.slice])
+        component_values = [
+            self.eval(c) if not isinstance(c, ast.Slice) else self._eval_slice_parts(c)
+            for c in components
+        ]
+        fancy = self._is_fancy(base, components, component_values)
+        result = self._subscript_result(node, base, components, component_values)
+        if isinstance(node.ctx, ast.Load):
+            self.hooks.on_subscript_load(node, base, fancy, self)
+        return result
+
+    def _eval_slice_parts(self, node: ast.Slice) -> AbstractValue:
+        for part in (node.lower, node.upper, node.step):
+            if part is not None:
+                self.eval(part)
+        return AbstractValue(kind="other")  # a slice object, never fancy
+
+    def _is_fancy(self, base: AbstractValue, components: list,
+                  values: "list[AbstractValue]") -> bool:
+        """Does this index trigger numpy advanced (copying) indexing?"""
+        for component, value in zip(components, values):
+            if isinstance(component, ast.Slice):
+                continue
+            if value.is_array():
+                return True
+            if isinstance(component, (ast.List,)):
+                return True
+            if isinstance(component, ast.Call):
+                name = self.numpy_name(component.func)
+                if name == "ix_":
+                    return True
+            # A loop-varying bare name indexing a *known array* without a
+            # provable integer-scalar value: the engine's per-fold
+            # row-index case. Requiring an array base keeps dict/list
+            # lookups with loop keys out (their base kind is unknown).
+            if (
+                base.is_array()
+                and isinstance(component, ast.Name)
+                and self.is_loop_carried(component.id)
+                and not value.is_index_scalar()
+                and value.kind != "other"
+            ):
+                return True
+        return False
+
+    def _subscript_result(self, node: ast.Subscript, base: AbstractValue,
+                          components: list, values: "list[AbstractValue]") -> AbstractValue:
+        if base.kind == "seq":
+            return UNKNOWN
+        has_array_index = any(v.is_array() for v in values) or any(
+            isinstance(c, ast.Call) and self.numpy_name(c.func) == "ix_"
+            for c in components
+        )
+        if not base.is_array() and not has_array_index:
+            return UNKNOWN
+        # Fancy indexing implies the base is an array even when inference
+        # lost track of it (attributes, shared state).
+        rank = base.rank
+        if rank is not None and not has_array_index:
+            reductions = sum(1 for v in values if v.is_index_scalar())
+            rank = max(rank - reductions, 0)
+            if rank == 0:
+                refined = self._refine_mask(node, base)
+                return AbstractValue(kind="scalar", dtype=base.dtype, rng=refined.rng)
+        elif has_array_index:
+            rank = None
+        value = AbstractValue(kind="array", rank=rank, dtype=base.dtype, rng=base.rng)
+        return self._refine_mask(node, value)
+
+    def _refine_mask(self, node: ast.Subscript, value: AbstractValue) -> AbstractValue:
+        """``x[x > 0]`` selects provably positive entries (FRL003 idiom)."""
+        index = node.slice
+        if (
+            isinstance(index, ast.Compare)
+            and len(index.ops) == 1
+            and isinstance(index.ops[0], (ast.Gt, ast.GtE))
+            and isinstance(index.left, ast.Name)
+            and isinstance(node.value, ast.Name)
+            and index.left.id == node.value.id
+            and len(index.comparators) == 1
+            and isinstance(index.comparators[0], ast.Constant)
+        ):
+            bound = index.comparators[0].value
+            if isinstance(bound, (int, float)) and not isinstance(bound, bool):
+                if bound > 0 or (bound == 0 and isinstance(index.ops[0], ast.Gt)):
+                    return replace(value, rng="pos")
+                if bound == 0:
+                    return replace(value, rng="nonneg")
+        return value
+
+    def _eval_lambda(self, node: ast.Lambda) -> AbstractValue:
+        return AbstractValue(kind="other")
+
+    def _eval_listcomp(self, node: "ast.ListComp") -> AbstractValue:
+        return self._eval_comp(node)
+
+    _eval_setcomp = _eval_listcomp
+    _eval_generatorexp = _eval_listcomp
+
+    def _eval_dictcomp(self, node: "ast.DictComp") -> AbstractValue:
+        return self._eval_comp(node)
+
+    def _eval_comp(self, node: ast.AST) -> AbstractValue:
+        # Comprehensions are already-idiomatic bulk operations: evaluate
+        # their parts for value propagation, but mute the hooks so the
+        # perf rules never treat them as hot loops (their targets are
+        # also invisible to the rules' loop-carried reasoning).
+        before = dict(self.env)
+        saved_hooks = self.hooks
+        self.hooks = Hooks()
+        try:
+            for comp in node.generators:
+                self.eval(comp.iter)
+                self._bind(comp.target, UNKNOWN)
+                for cond in comp.ifs:
+                    self.eval(cond)
+            if isinstance(node, ast.DictComp):
+                self.eval(node.key)
+                self.eval(node.value)
+            else:
+                self.eval(node.elt)
+        finally:
+            self.hooks = saved_hooks
+            self.env = before
+        return AbstractValue(kind="other")
+
+    def _eval_starred(self, node: ast.Starred) -> AbstractValue:
+        return self.eval(node.value)
+
+    def _eval_await(self, node: "ast.Await") -> AbstractValue:
+        return self.eval(node.value)
+
+    # -- calls -----------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> AbstractValue:
+        arg_values = [self.eval(a) for a in node.args]
+        kw_values = {kw.arg: self.eval(kw.value) for kw in node.keywords}
+        dotted = self.resolve(node.func)
+        result = self._call_result(node, dotted, arg_values, kw_values)
+        self.hooks.on_call(node, dotted, arg_values, result, self)
+        return result
+
+    def _call_result(self, node: ast.Call, dotted: "str | None",
+                     args: "list[AbstractValue]", kwargs: dict) -> AbstractValue:
+        numpy_name = dotted[len("numpy."):] if dotted and dotted.startswith("numpy.") else None
+        if numpy_name is not None:
+            return self._numpy_result(node, numpy_name, args, kwargs)
+        if dotted in ("range", "enumerate", "reversed", "sorted", "zip"):
+            from_dim = any(v.from_dim for v in args)
+            # ``range`` yields int scalars; mark the seq so loop targets
+            # bind as safe basic-indexing values.
+            dtype = "int" if dotted == "range" else None
+            return AbstractValue(kind="seq", dtype=dtype, from_dim=from_dim)
+        if dotted == "len":
+            if args and (args[0].is_array() or (args[0].kind == "seq" and args[0].from_dim)):
+                return AbstractValue(kind="dim", dtype="int", rng="nonneg", from_dim=True)
+            # len() of a non-array: nonnegative, but emptiness is usually
+            # guarded at the boundary — no positive zero-evidence (FRL018).
+            return AbstractValue(kind="scalar", dtype="int")
+        if dotted in ("int",):
+            base = args[0] if args else UNKNOWN
+            return AbstractValue(kind="scalar", dtype="int", rng=base.rng,
+                                 from_dim=base.from_dim)
+        if dotted in ("float",):
+            base = args[0] if args else UNKNOWN
+            return AbstractValue(kind="scalar", dtype="float64", rng=base.rng)
+        if dotted in ("abs",):
+            base = args[0] if args else UNKNOWN
+            return replace(base, rng="nonneg") if base.kind != "unknown" else UNKNOWN
+        if dotted in ("min", "max") and args:
+            rng = ("pos" if (dotted == "max" and any(a.rng == "pos" for a in args))
+                   or all(a.rng == "pos" for a in args)
+                   else "nonneg" if all(a.rng in ("pos", "nonneg") for a in args)
+                   or (dotted == "max" and any(a.rng in ("pos", "nonneg") for a in args))
+                   else "unknown")
+            return AbstractValue(kind="scalar", dtype=promote_dtype(
+                args[0].dtype, args[-1].dtype) if len(args) > 1 else args[0].dtype, rng=rng)
+        if dotted in ("math.log", "math.log2", "math.log10", "math.sqrt", "math.exp"):
+            return AbstractValue(kind="scalar", dtype="float64",
+                                 rng="pos" if dotted == "math.exp" else "unknown")
+        # Method calls on a tracked receiver.
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value)
+            method_result = self._method_result(node, node.func.attr, receiver, args, kwargs)
+            if method_result is not None:
+                return method_result
+        # Internal calls: consult (and feed) the interprocedural summaries.
+        resolution = self._resolutions.get((node.lineno, node.col_offset))
+        if resolution is not None and resolution.kind == "internal" and self.engine is not None:
+            self._record_outgoing(resolution.target, node, args, kwargs)
+            return self.engine.return_facts.get(resolution.target, UNKNOWN)
+        return UNKNOWN
+
+    def _method_result(self, node: ast.Call, attr: str, receiver: AbstractValue,
+                       args: "list[AbstractValue]", kwargs: dict) -> "AbstractValue | None":
+        has_axis = "axis" in kwargs or len(args) >= 1
+        if attr in ("sum", "mean"):
+            if not receiver.is_array():
+                return None
+            rank = (None if receiver.rank is None else
+                    (max(receiver.rank - 1, 0) if has_axis else 0))
+            dtype = "float64" if attr == "mean" and receiver.dtype in ("bool", "int") else receiver.dtype
+            kind = "array" if (has_axis and (rank is None or rank > 0)) or (
+                has_axis and "keepdims" in kwargs) else ("scalar" if rank == 0 else "array")
+            if not has_axis:
+                kind, rank = "scalar", None
+            return AbstractValue(kind=kind, rank=rank, dtype=dtype, rng=receiver.rng)
+        if attr in ("std", "var"):
+            return AbstractValue(kind="array" if has_axis else "scalar",
+                                 dtype="float64" if receiver.dtype != "float32" else "float32",
+                                 rng="nonneg")
+        if attr in ("min", "max"):
+            if not receiver.is_array():
+                return None
+            return AbstractValue(kind="array" if has_axis else "scalar",
+                                 dtype=receiver.dtype, rng=receiver.rng)
+        if attr in ("argmax", "argmin", "argsort"):
+            return AbstractValue(kind="array" if attr == "argsort" else "scalar",
+                                 dtype="int", rng="nonneg")
+        if attr == "astype":
+            dtype = _dtype_from_expr(node.args[0] if node.args else None, self.resolve)
+            if receiver.is_array() or receiver.kind == "unknown":
+                return AbstractValue(kind="array", rank=receiver.rank, dtype=dtype,
+                                     rng=receiver.rng)
+            return None
+        if attr in ("copy", "ravel", "flatten", "reshape", "clip", "squeeze"):
+            if not receiver.is_array():
+                return None
+            rank = receiver.rank
+            if attr in ("ravel", "flatten"):
+                rank = 1
+            elif attr in ("reshape", "squeeze"):
+                rank = None
+            return AbstractValue(kind="array", rank=rank, dtype=receiver.dtype,
+                                 rng=receiver.rng)
+        if attr == "item":
+            return AbstractValue(kind="scalar", dtype=receiver.dtype, rng=receiver.rng)
+        return None
+
+    def _numpy_result(self, node: ast.Call, name: str, args: "list[AbstractValue]",
+                      kwargs: dict) -> AbstractValue:
+        dtype_kw = next((kw.value for kw in node.keywords if kw.arg == "dtype"), None)
+        explicit_dtype = _dtype_from_expr(dtype_kw, self.resolve)
+        first = args[0] if args else UNKNOWN
+
+        if name in ("zeros", "ones", "empty", "full", "eye", "identity"):
+            rank = _rank_from_shape_arg(node.args[0] if node.args else None)
+            if name in ("eye", "identity"):
+                rank = 2
+            rng = {"zeros": "nonneg", "ones": "pos", "eye": "nonneg",
+                   "identity": "nonneg"}.get(name, "unknown")
+            if name == "full" and len(args) >= 2:
+                rng = args[1].rng
+            return AbstractValue(kind="array", rank=rank,
+                                 dtype=explicit_dtype or "float64", rng=rng)
+        if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            rng = {"zeros_like": "nonneg", "ones_like": "pos"}.get(name, "unknown")
+            if name == "full_like" and len(args) >= 2:
+                rng = args[1].rng
+            return AbstractValue(kind="array", rank=first.rank,
+                                 dtype=explicit_dtype or first.dtype, rng=rng)
+        if name in ("array", "asarray", "ascontiguousarray", "asfortranarray", "copy"):
+            rank = first.rank if first.is_array() else (
+                _nested_list_rank(node.args[0]) if node.args else None)
+            return AbstractValue(kind="array", rank=rank,
+                                 dtype=explicit_dtype or first.dtype, rng=first.rng)
+        if name == "arange":
+            rng = "nonneg" if all(a.rng in ("pos", "nonneg") for a in args) else "unknown"
+            return AbstractValue(kind="array", rank=1,
+                                 dtype=explicit_dtype or "int"
+                                 if all(a.dtype in ("int", "bool", None) for a in args)
+                                 else explicit_dtype or "float64", rng=rng)
+        if name in ("linspace", "logspace"):
+            return AbstractValue(kind="array", rank=1,
+                                 dtype=explicit_dtype or "float64",
+                                 rng="pos" if name == "logspace" else "unknown")
+        if name == "exp":
+            return AbstractValue(kind=first.kind if first.is_array() else "scalar",
+                                 rank=first.rank, dtype=first.dtype or "float64", rng="pos")
+        if name in ("log", "log2", "log10"):
+            return AbstractValue(kind=first.kind if first.is_array() else "scalar",
+                                 rank=first.rank, dtype=first.dtype or "float64", rng="unknown")
+        if name == "log1p":
+            return AbstractValue(kind=first.kind if first.is_array() else "scalar",
+                                 rank=first.rank, dtype=first.dtype or "float64",
+                                 rng="nonneg" if first.rng in ("pos", "nonneg") else "unknown")
+        if name in ("abs", "absolute", "square", "fabs"):
+            return replace(first, rng="nonneg") if first.kind != "unknown" else AbstractValue(
+                kind="unknown", rng="nonneg")
+        if name == "sqrt":
+            # Result range mirrors the argument's: sqrt of an *unknown*
+            # value is no positive evidence that zero is attainable.
+            return AbstractValue(kind=first.kind, rank=first.rank,
+                                 dtype=first.dtype or "float64", rng=first.rng
+                                 if first.rng in ("pos", "nonneg") else "unknown")
+        if name in ("maximum", "fmax") and len(args) >= 2:
+            rng = ("pos" if any(a.rng == "pos" for a in args)
+                   else "nonneg" if any(a.rng == "nonneg" for a in args) else "unknown")
+            return AbstractValue(kind="array" if any(a.is_array() for a in args) else "scalar",
+                                 dtype=promote_dtype(args[0].dtype, args[1].dtype), rng=rng)
+        if name in ("minimum", "fmin") and len(args) >= 2:
+            rng = ("pos" if all(a.rng == "pos" for a in args)
+                   else "nonneg" if all(a.rng in ("pos", "nonneg") for a in args)
+                   else "unknown")
+            return AbstractValue(kind="array" if any(a.is_array() for a in args) else "scalar",
+                                 dtype=promote_dtype(args[0].dtype, args[1].dtype), rng=rng)
+        if name == "clip":
+            lower = args[1] if len(args) >= 2 else kwargs.get("a_min", UNKNOWN)
+            rng = lower.rng if lower.rng in ("pos", "nonneg") else "unknown"
+            return AbstractValue(kind=first.kind, rank=first.rank, dtype=first.dtype, rng=rng)
+        if name == "where" and len(args) >= 3:
+            return AbstractValue(kind="array",
+                                 dtype=promote_dtype(args[1].dtype, args[2].dtype),
+                                 rng=_join_rng(args[1].rng, args[2].rng))
+        if name in CONCAT_FUNCTIONS:
+            rank = 2 if name in ("vstack", "column_stack") else None
+            return AbstractValue(kind="array", rank=rank, dtype=first.dtype, rng=first.rng
+                                 if all(a.rng == first.rng for a in args) else "unknown")
+        if name == "unique":
+            return AbstractValue(kind="array", rank=1, dtype=first.dtype, rng=first.rng)
+        if name in ("bincount", "histogram"):
+            # Counts: zero is *routinely* attained — the FRL018 signal.
+            return AbstractValue(kind="array", rank=1, dtype="int", rng="nonneg")
+        if name in ("flatnonzero", "nonzero", "argwhere", "argsort"):
+            return AbstractValue(kind="array", rank=1 if name == "flatnonzero" else None,
+                                 dtype="int", rng="nonneg")
+        if name in ("argmax", "argmin"):
+            has_axis = "axis" in kwargs or len(args) >= 2
+            return AbstractValue(kind="array" if has_axis else "scalar", dtype="int",
+                                 rng="nonneg")
+        if name in ("isnan", "isinf", "isfinite", "isin", "isclose"):
+            return AbstractValue(kind="array", rank=first.rank, dtype="bool", rng="nonneg")
+        if name in ("sum", "mean", "prod", "median", "nanmean", "nansum"):
+            has_axis = "axis" in kwargs or len(args) >= 2
+            dtype = ("float64" if name in ("mean", "median", "nanmean")
+                     and first.dtype in ("bool", "int") else first.dtype)
+            return AbstractValue(kind="array" if has_axis else "scalar", dtype=dtype,
+                                 rng=first.rng)
+        if name in ("std", "var", "nanstd"):
+            has_axis = "axis" in kwargs or len(args) >= 2
+            return AbstractValue(kind="array" if has_axis else "scalar",
+                                 dtype="float32" if first.dtype == "float32" else "float64",
+                                 rng="nonneg")
+        if name in ("amin", "amax", "min", "max"):
+            has_axis = "axis" in kwargs or len(args) >= 2
+            return AbstractValue(kind="array" if has_axis else "scalar",
+                                 dtype=first.dtype, rng=first.rng)
+        if name in GRAM_FUNCTIONS or name == "matmul":
+            dtype = promote_dtype(args[0].dtype, args[1].dtype) if len(args) >= 2 else None
+            return AbstractValue(kind="array", dtype=dtype)
+        if name in ("transpose", "broadcast_to", "expand_dims", "atleast_1d", "atleast_2d",
+                    "ravel", "reshape", "squeeze", "moveaxis", "swapaxes"):
+            rank = 1 if name in ("ravel", "atleast_1d") else (
+                2 if name == "atleast_2d" else None)
+            return AbstractValue(kind="array", rank=rank, dtype=first.dtype, rng=first.rng)
+        if name in ("array_split", "split", "hsplit", "vsplit"):
+            return AbstractValue(kind="seq")
+        if name in ("rint", "floor", "ceil", "round", "trunc"):
+            return replace(first, dtype=first.dtype) if first.kind != "unknown" else UNKNOWN
+        if name == "tile":
+            return AbstractValue(kind="array", dtype=first.dtype, rng=first.rng)
+        if name in ("ix_",):
+            return AbstractValue(kind="other")
+        if name.startswith("random.") or name in ("searchsorted", "digitize"):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _record_outgoing(self, target: "str | None", node: ast.Call,
+                         args: "list[AbstractValue]", kwargs: dict) -> None:
+        if target is None or self.engine is None:
+            return
+        info = self.engine.graph.node(target)
+        if info is None:
+            return
+        params = info.params
+        offset = 1 if info.class_name and params and params[0] in ("self", "cls") else 0
+        for position, value in enumerate(args):
+            slot = position + offset
+            if value.kind != "unknown" and slot < len(params):
+                self.summary.outgoing.append((target, params[slot], value))
+        for name, value in kwargs.items():
+            if name is not None and value.kind != "unknown" and name in params:
+                self.summary.outgoing.append((target, name, value))
+
+
+def _nested_list_rank(node: ast.AST) -> "int | None":
+    """Rank of ``np.array([[...], ...])`` literals."""
+    rank = 0
+    cur = node
+    while isinstance(cur, (ast.List, ast.Tuple)):
+        rank += 1
+        cur = cur.elts[0] if cur.elts else None
+    return rank or None
+
+
+class ShapeEngine:
+    """Interprocedural fixed point over per-function shape summaries.
+
+    Mirrors :class:`repro.analysis.dataflow.TaintEngine`: a worklist of
+    function qualnames, joined parameter facts flowing into callees,
+    return facts flowing back to callers, bounded iteration. Facts only
+    move *down* the lattice (joins), so the fixed point exists; the
+    iteration bound is a belt-and-braces guard, as in the taint engine.
+    """
+
+    def __init__(self, project) -> None:
+        self.project = project
+        self.graph = project.graph
+        #: qualname -> {param: AbstractValue} (joined over all call sites)
+        self.param_facts: dict[str, dict] = {}
+        #: qualname -> AbstractValue of the return
+        self.return_facts: dict[str, AbstractValue] = {}
+        self._trees: dict[str, "ast.Module | None"] = {}
+        self._funcdefs: dict[str, tuple] = {}
+        self._callers: dict[str, set] = {}
+        self._collect_functions()
+
+    # -- AST plumbing ----------------------------------------------------
+
+    def _tree_for(self, module) -> "ast.Module | None":
+        if module.path not in self._trees:
+            try:
+                source = Path(module.path).read_text(encoding="utf-8")
+                self._trees[module.path] = ast.parse(source)
+            except (OSError, SyntaxError):
+                self._trees[module.path] = None
+        return self._trees[module.path]
+
+    def _collect_functions(self) -> None:
+        for module in self.project.index.modules.values():
+            if not module.is_library:
+                continue
+            tree = self._tree_for(module)
+            if tree is None:
+                continue
+            for stmt in tree.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    self._funcdefs[f"{module.name}.{stmt.name}"] = (module, stmt)
+                elif isinstance(stmt, ast.ClassDef):
+                    for item in stmt.body:
+                        if isinstance(item, ast.FunctionDef):
+                            qualname = f"{module.name}.{stmt.name}.{item.name}"
+                            self._funcdefs[qualname] = (module, item)
+
+    def functions(self) -> "list[str]":
+        return sorted(self._funcdefs)
+
+    # -- fixed point -----------------------------------------------------
+
+    def run(self) -> "ShapeEngine":
+        for caller, edges in self.graph.edges.items():
+            for callee in edges:
+                self._callers.setdefault(callee, set()).add(caller)
+        queue = self.functions()
+        queued = set(queue)
+        iterations = 0
+        limit = max(64, 8 * len(queue))
+        while queue and iterations < limit:
+            iterations += 1
+            qualname = queue.pop(0)
+            queued.discard(qualname)
+            summary = self.evaluate(qualname)
+            if summary is None:
+                continue
+            changed: set[str] = set()
+            for callee, param, value in summary.outgoing:
+                facts = self.param_facts.setdefault(callee, {})
+                merged = join(facts[param], value) if param in facts else value
+                if facts.get(param) != merged:
+                    facts[param] = merged
+                    changed.add(callee)
+            new_return = summary.return_value if summary.saw_return else UNKNOWN
+            old_return = self.return_facts.get(qualname)
+            merged_return = new_return if old_return is None else join(old_return, new_return)
+            if merged_return != old_return:
+                self.return_facts[qualname] = merged_return
+                changed.update(self._callers.get(qualname, ()))
+            for target in sorted(changed):
+                if target in self._funcdefs and target not in queued:
+                    queue.append(target)
+                    queued.add(target)
+        return self
+
+    def evaluate(self, qualname: str, hooks: "Hooks | None" = None) -> "_Summary | None":
+        entry = self._funcdefs.get(qualname)
+        if entry is None:
+            return None
+        module, funcdef = entry
+        evaluator = FunctionEvaluator(
+            module, funcdef, qualname, engine=self, hooks=hooks,
+            param_facts=self.param_facts.get(qualname),
+        )
+        return evaluator.run()

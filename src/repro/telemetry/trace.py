@@ -229,6 +229,75 @@ def summarize_trace(result: "TraceReadResult | list") -> TraceSummary:
     return summary
 
 
+#: Span name -> the call-graph qualname whose cost the span measures.
+#: Parametrized spans (``ensemble.member[3]``) match by their base name.
+#: This is the join key between fracscope traces and fraclint's call
+#: graph: the optimization ledger (``python -m repro.analysis --profile``)
+#: uses it to price static findings with measured wall/CPU time.
+SPAN_QUALNAMES = {
+    "fit.preprocess": "repro.core.imputation.Preprocessor.fit",
+    "fit.build_tasks": "repro.core.frac.FRaC.fit",
+    "fit.train": "repro.core.engine.run_feature_task",
+    "score.contributions": "repro.core.engine.score_contributions",
+    "jl.project": "repro.core.preprojection.JLFRaC._project",
+    "ensemble.member": "repro.core.ensemble.FRaCEnsemble.fit",
+}
+
+
+def qualname_for_span(span: str) -> "str | None":
+    """Call-graph qualname a span name attributes to, if known.
+
+    Strips a ``[...]`` parameter suffix first, so every
+    ``ensemble.member[i]`` series folds onto one qualname.
+    """
+    base = span.split("[", 1)[0]
+    return SPAN_QUALNAMES.get(base)
+
+
+@dataclass
+class AttributedCost:
+    """Measured cost folded onto one call-graph qualname."""
+
+    qualname: str
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    n_spans: int = 0
+    #: FeatureTaskFinished count when the qualname is the task body.
+    n_tasks: int = 0
+
+
+def attribute_trace(records: list) -> "dict[str, AttributedCost]":
+    """Fold a trace's span costs onto call-graph qualnames.
+
+    ``SpanFinished`` events supply wall/CPU seconds via
+    :data:`SPAN_QUALNAMES`; ``FeatureTaskFinished`` events add the task
+    count to the task-body qualname (``fit.train``'s target) without
+    double-counting time. Spans with no mapping are ignored — they are
+    visible in :func:`summarize_trace` either way.
+    """
+    costs: dict[str, AttributedCost] = {}
+
+    def bucket(qualname: str) -> AttributedCost:
+        if qualname not in costs:
+            costs[qualname] = AttributedCost(qualname=qualname)
+        return costs[qualname]
+
+    for rec in records:
+        event = rec.get("event")
+        if event == "SpanFinished":
+            qualname = qualname_for_span(rec.get("span", ""))
+            if qualname is None:
+                continue
+            agg = bucket(qualname)
+            agg.wall_s += rec.get("wall_s", 0.0)
+            agg.cpu_s += rec.get("cpu_s", 0.0)
+            agg.n_spans += 1
+        elif event == "FeatureTaskFinished":
+            agg = bucket(SPAN_QUALNAMES["fit.train"])
+            agg.n_tasks += 1
+    return costs
+
+
 def render_trace_summary(summary: TraceSummary) -> str:
     """Deterministic text rendering of a :class:`TraceSummary`."""
     lines: list[str] = []

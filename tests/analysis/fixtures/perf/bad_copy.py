@@ -1,0 +1,24 @@
+"""FRL016 fixture: hidden copies — fancy gathers, concat, slice->ravel."""
+
+import numpy as np
+
+
+def gather_per_iteration(x, index_sets):
+    x = np.asarray(x, dtype=np.float64)
+    out = []
+    for idx in index_sets:
+        rows = x[idx]
+        out.append(float(rows.sum()))
+    return out
+
+
+def grow_by_concat(chunks):
+    acc = np.zeros((0, 4))
+    for chunk in chunks:
+        acc = np.concatenate([acc, chunk])
+    return acc
+
+
+def column_ravel(x):
+    x = np.asarray(x, dtype=np.float64)
+    return x[:, 0].ravel()

@@ -1,0 +1,22 @@
+"""FRL017 fixture: silent float32 widening and per-element scalar math."""
+
+import numpy as np
+
+
+def mixed_arithmetic(n):
+    narrow = np.zeros(n, dtype=np.float32)
+    wide = np.ones(n, dtype=np.float64)
+    return narrow + wide
+
+
+def widening_cast(n):
+    narrow = np.zeros(n, dtype=np.float32)
+    return narrow.astype(np.float64)
+
+
+def elementwise_python(scores):
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    total = 0.0
+    for value in scores:
+        total = total + value * 2.0
+    return total

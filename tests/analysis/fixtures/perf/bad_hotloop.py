@@ -1,0 +1,19 @@
+"""FRL015 fixture: Python loops doing per-iteration fit / numpy work."""
+
+import numpy as np
+
+
+def per_feature_fit(model, x, folds):
+    preds = np.zeros(x.shape[0])
+    for train_idx, test_idx in folds:
+        model.fit(x[train_idx], preds[train_idx])
+        preds[test_idx] = 1.0
+    return preds
+
+
+def per_column_stats(x):
+    x = np.asarray(x, dtype=np.float64)
+    total = 0.0
+    for j in range(x.shape[1]):
+        total += float(np.mean(x[:, j]))
+    return total

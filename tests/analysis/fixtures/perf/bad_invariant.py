@@ -1,0 +1,21 @@
+"""FRL019 fixture: loop-invariant allocations and Gram recomputation."""
+
+import numpy as np
+
+
+def realloc_every_iteration(x, n_rounds):
+    x = np.asarray(x, dtype=np.float64)
+    total = 0.0
+    for _ in range(n_rounds):
+        buffer = np.zeros(128)
+        total += float(buffer.sum() + x.sum())
+    return total
+
+
+def gram_every_iteration(x, n_rounds):
+    x = np.asarray(x, dtype=np.float64)
+    total = 0.0
+    for _ in range(n_rounds):
+        gram = x.T @ x
+        total += float(gram.sum())
+    return total

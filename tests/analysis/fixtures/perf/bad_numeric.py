@@ -1,0 +1,18 @@
+"""FRL018 fixture: log/exp/division on inferred-possibly-zero values."""
+
+import numpy as np
+
+
+def log_of_counts(labels):
+    counts = np.abs(np.asarray(labels, dtype=np.float64))
+    return np.log(counts)
+
+
+def divide_by_count(x, labels):
+    weight = float(np.sum(np.abs(labels)))
+    return x / weight
+
+
+def exp_narrow(n):
+    scores = np.zeros(n, dtype=np.float32)
+    return np.exp(scores)

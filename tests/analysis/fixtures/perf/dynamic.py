@@ -1,0 +1,41 @@
+"""Adversarial fixture: dynamic shapes/dtypes the engine cannot know.
+
+Every function here funnels arrays through constructs that defeat static
+shape/dtype inference — dynamic attribute access, heterogeneous
+containers, data-dependent rebinding, caller-supplied callables. The
+engine must degrade each value to *unknown* and stay silent: zero
+FRL015–FRL019 findings on this module (positive evidence only, never a
+guess).
+"""
+
+import numpy as np
+
+
+def dynamic_attribute(store, name):
+    payload = getattr(store, name)
+    return np.log(payload)
+
+
+def heterogeneous_container(items):
+    bag = {"first": items[0], "rest": items[1:]}
+    picked = bag["first"]
+    return picked / picked
+
+
+def data_dependent_rebind(x, flag):
+    x = np.asarray(x)
+    if flag:
+        x = x.astype(x.dtype)
+    return np.exp(x)
+
+
+def caller_supplied(transform, x):
+    y = transform(x)
+    for chunk in y:
+        _ = chunk[0]
+    return y
+
+
+def reshaped_by_data(x, spec):
+    x = np.asarray(x)
+    return x.reshape(spec) / np.asarray(spec).prod()

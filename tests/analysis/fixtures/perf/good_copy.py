@@ -1,0 +1,22 @@
+"""FRL016 counter-fixture: one gather, preallocation, contiguous views."""
+
+import numpy as np
+
+
+def gather_once(x, all_idx):
+    rows = x[all_idx]
+    return rows.sum(axis=1)
+
+
+def preallocated(chunks, n_rows):
+    acc = np.zeros((n_rows, 4))
+    offset = 0
+    for chunk in chunks:
+        acc[offset] = chunk
+        offset = offset + 1
+    return acc
+
+
+def row_ravel(x):
+    x = np.asarray(x, dtype=np.float64)
+    return x[0, :].ravel()

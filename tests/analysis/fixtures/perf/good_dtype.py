@@ -1,0 +1,19 @@
+"""FRL017 counter-fixture: one dtype end to end, whole-array math."""
+
+import numpy as np
+
+
+def consistent_arithmetic(n):
+    a = np.zeros(n, dtype=np.float32)
+    b = np.ones(n, dtype=np.float32)
+    return a + b
+
+
+def narrowing_cast(n):
+    wide = np.zeros(n, dtype=np.float64)
+    return wide.astype(np.float32)
+
+
+def whole_array(x):
+    x = np.asarray(x, dtype=np.float64)
+    return float((x * 2.0).sum())

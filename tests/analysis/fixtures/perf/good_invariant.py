@@ -1,0 +1,21 @@
+"""FRL019 counter-fixture: hoisted buffers, loop-carried accumulation."""
+
+import numpy as np
+
+
+def hoisted(x, n_rounds):
+    x = np.asarray(x, dtype=np.float64)
+    buffer = np.zeros(128)
+    gram = x.T @ x
+    total = 0.0
+    for _ in range(n_rounds):
+        total += float(buffer.sum() + gram.sum())
+    return total
+
+
+def carried_state(x, n_rounds):
+    x = np.asarray(x, dtype=np.float64)
+    acc = x
+    for _ in range(n_rounds):
+        acc = acc @ x.T
+    return acc

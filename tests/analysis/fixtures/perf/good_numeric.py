@@ -1,0 +1,19 @@
+"""FRL018 counter-fixture: smoothed, masked, and widened numeric paths."""
+
+import numpy as np
+
+
+def log_smoothed(labels):
+    counts = np.abs(np.asarray(labels, dtype=np.float64))
+    return np.log1p(counts)
+
+
+def log_masked(labels):
+    counts = np.abs(np.asarray(labels, dtype=np.float64))
+    positive = counts[counts > 0]
+    return np.log(positive)
+
+
+def exp_wide(n):
+    scores = np.zeros(n, dtype=np.float64)
+    return np.exp(scores)

@@ -1,0 +1,27 @@
+"""Known-clean fixture: the vectorized shape of the engine's fit path.
+
+The batched rewrite PR 7 targets — per-feature statistics, residuals,
+and surprisal computed as whole-array operations with no Python loop
+over features. All five FRL015–FRL019 rules must stay silent here.
+"""
+
+import numpy as np
+
+
+def batched_statistics(x):
+    x = np.asarray(x, dtype=np.float64)
+    means = np.nanmean(x, axis=0)
+    stds = np.nanstd(x, axis=0)
+    return means, stds
+
+
+def batched_residuals(x, predictions):
+    x = np.asarray(x, dtype=np.float64)
+    residuals = x - predictions
+    scale = np.maximum(np.std(residuals, axis=0), 1e-12)
+    return residuals / scale
+
+
+def batched_surprisal(residuals, scale):
+    z = residuals / np.maximum(scale, 1e-12)
+    return 0.5 * z * z + np.log(np.maximum(scale, 1e-12))

@@ -10,6 +10,7 @@ from repro.analysis.baseline import (
     check_budget,
     collect_suppressions,
     load_baseline,
+    update_baseline,
     write_baseline,
 )
 from repro.utils.exceptions import ReproError
@@ -144,3 +145,72 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main([str(src), "--baseline", str(tmp_path / "nope.json")])
         assert excinfo.value.code == 2
+
+
+class TestUpdateBaseline:
+    """Mechanical regeneration with audit-note preservation."""
+
+    def test_update_then_check_round_trips_clean(self, tmp_path, capsys):
+        src = _tree(tmp_path, NOTED)
+        out = tmp_path / "baseline.json"
+        assert main([str(src), "--update-baseline", str(out)]) == 0
+        assert "audit notes" in capsys.readouterr().out
+        assert main([str(src), "--baseline", str(out)]) == 0
+        assert "within baseline" in capsys.readouterr().out
+
+    def test_update_is_deterministic(self, tmp_path):
+        src = _tree(tmp_path, NOTED)
+        out = tmp_path / "baseline.json"
+        records = collect_suppressions([src])
+        update_baseline(out, records)
+        first = out.read_text()
+        update_baseline(out, records)
+        assert out.read_text() == first
+
+    def test_payload_records_notes_per_group(self, tmp_path):
+        src = _tree(tmp_path, NOTED)
+        payload = update_baseline(
+            tmp_path / "baseline.json", collect_suppressions([src])
+        )
+        [(key, notes)] = payload["notes"].items()
+        assert key.endswith("m.py::FRL003")
+        assert notes == ["sigma floored in fit()"]
+
+    def test_previous_notes_survive_for_surviving_groups(self, tmp_path):
+        src = _tree(tmp_path, NOTED)
+        out = tmp_path / "baseline.json"
+        records = collect_suppressions([src])
+        update_baseline(out, records)
+        # the directive's wording changes; the old justification is kept
+        (src / "m.py").write_text(
+            "import math\n"
+            "x = math.log(0.5)  # fraclint: disable=FRL003 -- new wording\n"
+        )
+        payload = update_baseline(out, collect_suppressions([src]))
+        [(_key, notes)] = payload["notes"].items()
+        assert notes == ["new wording", "sigma floored in fit()"]
+
+    def test_dropped_groups_forget_their_notes(self, tmp_path):
+        src = _tree(tmp_path, NOTED)
+        out = tmp_path / "baseline.json"
+        update_baseline(out, collect_suppressions([src]))
+        (src / "m.py").write_text("import math\nx = math.sqrt(2.0)\n")
+        payload = update_baseline(out, collect_suppressions([src]))
+        assert payload["notes"] == {}
+        assert payload["counts"] == {}
+
+    def test_loads_back_through_the_gate(self, tmp_path):
+        src = _tree(tmp_path, NOTED)
+        out = tmp_path / "baseline.json"
+        update_baseline(out, collect_suppressions([src]))
+        baseline = load_baseline(out)
+        assert check_budget(baseline, collect_suppressions([src])) == []
+
+    def test_shipped_baseline_was_mechanically_updated(self):
+        """The committed fraclint-baseline.json carries the notes section."""
+        baseline = load_baseline(ROOT / "fraclint-baseline.json")
+        assert "notes" in baseline
+        records = collect_suppressions(
+            [ROOT / "src", ROOT / "tests", ROOT / "benchmarks", ROOT / "examples"]
+        )
+        assert check_budget(baseline, records) == []

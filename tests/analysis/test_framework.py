@@ -239,6 +239,14 @@ class TestExplain:
             main(["--explain", "FRL999"])
         assert excinfo.value.code == 2
 
+    def test_cli_explain_without_rule_lists_every_card(self, capsys):
+        assert main(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for checker in all_checkers():
+            assert checker.rule in out, checker.rule
+            assert checker.name in out, checker.name
+        assert "--explain RULE" in out  # points at the full card
+
 
 class TestSarif:
     def _violations(self):
