@@ -17,6 +17,7 @@ from conftest import capture_trace, condense_trace, emit, emit_json
 
 from repro.data.compendium import COMPENDIUM
 from repro.experiments import render_table, table2
+from repro.learners.registry import supports_batching
 from repro.parallel import profiling
 from repro.telemetry.trace import read_trace, summarize_trace
 
@@ -36,11 +37,19 @@ def bench_table2(benchmark, settings, results_dir):
     summary = summarize_trace(read_trace(trace_path))
     n_feature_tasks = sum(summary.task_status_counts.values())
     condense_trace(trace_path)
+    expr = settings.expression_config
+    # The trajectory label names the engine generation this run measured,
+    # so BENCH_table2.json keeps one entry per generation and the bench
+    # regression test can compare throughput across them.
+    label = (
+        f"batched-{expr.regressor}"
+        if expr.batched_training and supports_batching(expr.regressor)
+        else f"per-feature-{expr.regressor}"
+    )
     emit_json(
         results_dir,
         "BENCH_table2",
         {
-            "format": "repro-bench-table2-v1",
             "scale": settings.scale,
             "sample_scale": settings.sample_scale,
             "n_replicates": settings.n_replicates,
@@ -61,6 +70,7 @@ def bench_table2(benchmark, settings, results_dir):
                 for row in rows
             ],
         },
+        label=label,
     )
 
     for row in rows:

@@ -104,10 +104,42 @@ def capture_trace(path: Path):
         sink.close()
 
 
-def emit_json(results_dir: Path, name: str, payload: dict) -> Path:
-    """Persist a BENCH_*.json trajectory point under benchmarks/results/."""
+def emit_json(
+    results_dir: Path, name: str, payload: dict, *, label: "str | None" = None
+) -> Path:
+    """Persist a BENCH_*.json point under benchmarks/results/.
+
+    Without ``label`` the file is overwritten with ``payload`` (one-shot
+    benches). With ``label`` the file is a *trajectory*: a v2 document
+    whose ``entries`` list accumulates one labelled payload per engine
+    generation, so the committed results carry their own history (the
+    regression test compares the newest entry against its predecessors).
+    A legacy single-payload (v1) file is migrated into the first entry;
+    re-running a bench replaces its own label's entry rather than
+    appending a duplicate, keeping reruns idempotent.
+    """
     target = results_dir / f"{name}.json"
-    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    if label is None:
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return target
+
+    entries: list[dict] = []
+    if target.exists():
+        existing = json.loads(target.read_text(encoding="utf-8"))
+        if isinstance(existing.get("entries"), list):
+            entries = existing["entries"]
+        else:
+            existing.pop("format", None)
+            legacy_label = existing.pop("label", "baseline")
+            entries = [{"label": legacy_label, **existing}]
+    entries = [e for e in entries if e.get("label") != label]
+    entries.append({"label": label, **payload})
+    document = {"format": f"repro-bench-{name.split('_', 1)[-1].lower()}-v2", "entries": entries}
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return target
 
 

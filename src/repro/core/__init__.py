@@ -2,7 +2,15 @@
 
 from repro.core.config import FRaCConfig
 from repro.core.diverse import DiverseFRaC
-from repro.core.engine import FeatureTask, kfold_indices, run_feature_task
+from repro.core.engine import (
+    FeatureBatch,
+    FeatureTask,
+    kfold_indices,
+    plan_feature_batches,
+    run_feature_batch,
+    run_feature_task,
+    run_feature_tasks,
+)
 from repro.core.ensemble import (
     FRaCEnsemble,
     combine_contributions,
@@ -19,6 +27,7 @@ from repro.core.frac import (
     FRaC,
     all_others_selector,
     diverse_selector,
+    fixed_inputs_selector,
     subset_selector,
 )
 from repro.core.imputation import Preprocessor
@@ -39,12 +48,17 @@ __all__ = [
     "ContributionMatrix",
     "FeatureModel",
     "FeatureTask",
+    "FeatureBatch",
     "kfold_indices",
+    "plan_feature_batches",
     "run_feature_task",
+    "run_feature_tasks",
+    "run_feature_batch",
     "Preprocessor",
     "all_others_selector",
     "subset_selector",
     "diverse_selector",
+    "fixed_inputs_selector",
     "FilteredFRaC",
     "random_filter",
     "entropy_filter",

@@ -41,6 +41,15 @@ class FRaCConfig:
     min_observed:
         Features with fewer observed training values are skipped entirely
         (they cannot support CV).
+    batched_training:
+        Route real-valued feature tasks through the batched executor path
+        (:func:`repro.core.engine.run_feature_batch`) whenever the
+        configured regressor advertises a batched implementation
+        (:data:`repro.learners.registry.BATCHED_REGRESSORS`). The batched
+        path is proven byte-identical to the per-feature path
+        (tests/core/test_batched_equivalence.py), so this flag trades
+        nothing but wall clock; it exists so the equivalence suite can
+        force the per-feature reference path.
     execution:
         How the per-feature work items are mapped (serial/thread/process).
     """
@@ -55,6 +64,7 @@ class FRaCConfig:
     confusion_smoothing: float = 1.0
     sigma_floor: float = 1e-3
     min_observed: int = 4
+    batched_training: bool = True
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:

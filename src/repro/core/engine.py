@@ -15,11 +15,33 @@ Items only carry small picklable payloads (:class:`FeatureTask`); the
 training matrix travels through the executor's shared-state channel (see
 :mod:`repro.parallel.executor`), so process-mode workers inherit it via
 fork instead of pickling it per item.
+
+Batched execution
+-----------------
+:func:`run_feature_tasks` is the single entry point. When the configured
+regressor advertises batching (:data:`~repro.learners.registry.
+BATCHED_REGRESSORS`) and ``config.batched_training`` is on, real-valued
+tasks are grouped by identical ``(rows, input_ids, fold layout)``
+(:func:`plan_feature_batches`) and each group is executed by
+:func:`run_feature_batch`: the row gathers, fold gathers, and the
+learner's design-matrix factorization happen once per group instead of
+once per feature, while every per-column float op replays the scalar
+path verbatim (see :mod:`repro.learners.batched`). The batched path is
+**byte-identical** to the per-feature path — NS scores, contributions,
+``cv_mean_surprisal``, persisted artifacts — and preserves its
+observable semantics: checkpoint journals keep per-feature keys (the two
+paths' journals interchange), telemetry stays per-feature (batch items
+run quiet; the orchestrator re-emits the task lifecycle per feature, and
+``FoldTrained`` is emitted per (feature, fold) either way), and a failed
+batch decomposes into per-feature execution under the caller's retry
+policy. Deterministic fault injection (``fault_plan``) targets the
+per-feature index space, so plans route the whole run down the
+per-feature path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -30,13 +52,26 @@ from repro.errormodels.confusion import ConfusionErrorModel
 from repro.errormodels.entropy import discrete_entropy
 from repro.errormodels.gaussian import GaussianErrorModel
 from repro.errormodels.kde import GaussianKDE
-from repro.learners.registry import learner_accepts_param, make_learner
-from repro.parallel.executor import get_shared
+from repro.learners.registry import (
+    learner_accepts_param,
+    make_batched_learner,
+    make_learner,
+    supports_batching,
+)
+from repro.parallel.executor import get_shared, run_tasks
+from repro.parallel.faults import FailureReport, FaultPlan, RetryPolicy
 from repro.parallel.profiling import cpu_seconds
 from repro.parallel.resources import TaskCost, design_matrix_bytes, training_work_units
-from repro.telemetry.events import FoldTrained
+from repro.telemetry.events import (
+    CheckpointHit,
+    CheckpointMiss,
+    FeatureTaskFinished,
+    FeatureTaskStarted,
+    FoldTrained,
+)
 from repro.telemetry.runtime import get_bus
 from repro.utils.exceptions import DataError
+from repro.utils.validation import check_2d
 
 
 @dataclass(frozen=True)
@@ -56,12 +91,31 @@ class SharedTrainState:
     ``x_imputed`` has every entry finite (model *inputs*); ``x_targets``
     keeps missing entries as NaN so target reads respect missingness. Both
     are in standardized units when the config says so.
+
+    ``fold_seed`` pins the run's CV fold layout: every task with the same
+    usable-row count draws the identical permutation (see
+    :func:`fold_rng`), which is what lets the batched planner group tasks
+    by ``(rows, input_ids)`` and know the fold layout matches too.
     """
 
     x_imputed: np.ndarray
     x_targets: np.ndarray
     schema: FeatureSchema
     config: FRaCConfig
+    fold_seed: int = 0
+
+
+def fold_rng(fold_seed: int, n: int) -> np.random.Generator:
+    """The generator that deals the k-fold permutation for ``n`` rows.
+
+    Seeded by ``(run fold seed, row count)`` — not by the per-task seed —
+    so tasks whose usable rows coincide share one fold layout. Shared
+    layouts are a *requirement* of the batched path (fold gathers are
+    computed once per group) and harmless to the per-feature path: folds
+    stay deterministic per run, and the per-task stream still
+    independently seeds the learners.
+    """
+    return np.random.default_rng(np.random.SeedSequence([int(fold_seed), int(n)]))
 
 
 def kfold_indices(
@@ -84,6 +138,29 @@ def kfold_indices(
     return out
 
 
+#: Fold-layout memo. The permutation depends only on ``(fold_seed, n,
+#: k)`` — exactly the sharing contract :func:`fold_rng` encodes — so
+#: every task with the same usable-row count reuses one dealt layout
+#: instead of re-seeding a generator per task. Entries are treated as
+#: read-only; the bound only guards pathological studies that sweep
+#: thousands of distinct row counts.
+_FOLD_CACHE: "dict[tuple[int, int, int], list[tuple[np.ndarray, np.ndarray]]]" = {}
+
+
+def shared_folds(
+    fold_seed: int, n: int, k: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Memoized ``kfold_indices(n, k, fold_rng(fold_seed, n))``."""
+    key = (int(fold_seed), int(n), int(k))
+    folds = _FOLD_CACHE.get(key)
+    if folds is None:
+        folds = kfold_indices(n, k, fold_rng(fold_seed, n))
+        if len(_FOLD_CACHE) >= 1024:
+            _FOLD_CACHE.clear()
+        _FOLD_CACHE[key] = folds
+    return folds
+
+
 def _make_predictor(name: str, params: dict, seed: int):
     """Instantiate a learner, injecting the task seed when supported.
 
@@ -102,11 +179,14 @@ def _make_predictor(name: str, params: dict, seed: int):
 def feature_task_key(task: FeatureTask) -> tuple[int, int, int]:
     """Stable checkpoint-journal key for one work item.
 
-    ``(feature_id, slot, seed)`` pins the task's RNG stream, and the
-    stream pins the CV folds, the input draw, and the learner seed — so
-    equal keys imply bit-identical results (the idempotence resume relies
-    on), while any change to the root seed or task layout changes the keys
-    and naturally invalidates stale journal entries.
+    ``(feature_id, slot, seed)`` pins the task's RNG stream (the input
+    draw and learner seed), and the task seed is spawned from the same
+    root stream as the run's shared ``fold_seed`` — so equal keys within
+    one detector configuration imply bit-identical results (the
+    idempotence resume relies on), while any change to the root seed or
+    task layout changes the keys and naturally invalidates stale journal
+    entries. The batched executor path journals under these same
+    per-feature keys, so batched and per-feature journals interchange.
     """
     return (int(task.feature_id), int(task.slot), int(task.seed))
 
@@ -147,11 +227,14 @@ def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None
     # forked process workers (whose bus is dropped; see executor._init_worker).
     bus = get_bus()
     preds = np.empty(len(rows))
-    folds = kfold_indices(len(rows), cfg.n_folds, rng)
+    folds = shared_folds(shared.fold_seed, len(rows), cfg.n_folds)
     # THE per-feature fit loop the paper profiles (O(f) dispatch):
-    # ranked #1 in docs/optimization-ledger.md and deferred to the
-    # batched-learner rewrite (ROADMAP Open item 1). The per-fold
-    # gathers below copy rows each iteration for the same reason.
+    # ranked #1 in docs/optimization-ledger.md. The batched path
+    # (ROADMAP Open item 1, run_feature_batch below) replaces this loop
+    # whenever the regressor supports batching; it stays as the scalar
+    # path for categorical/unbatched learners and as the byte-equivalence
+    # reference the proof harness compares against. The per-fold gathers
+    # below copy rows each iteration for the same reason.
     for fold, (train_idx, holdout_idx) in enumerate(folds):  # fraclint: disable=FRL015
         model = make()
         model.fit(x_in[train_idx], y[train_idx])  # fraclint: disable=FRL016 -- per-fold row gather, batched with the fit loop (Open item 1)
@@ -188,6 +271,375 @@ def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None
         ),
         cost,
     )
+
+
+# -- batched execution -------------------------------------------------------
+
+#: Largest feature group executed as one batch. Grouping is what amortizes
+#: the gathers and the Gram factorization; the cap only bounds how much
+#: completed work one mid-batch crash can lose before the next journal
+#: append (batch results stream to the checkpoint per batch, not per run).
+MAX_BATCH_FEATURES = 64
+
+
+@dataclass(frozen=True)
+class FeatureBatch:
+    """A group of real-valued tasks sharing ``(rows, input_ids, folds)``.
+
+    ``indices`` are the member positions in the task list handed to
+    :func:`plan_feature_batches`, so the orchestrator can place results
+    and re-emit per-feature telemetry without searching.
+    """
+
+    tasks: tuple[FeatureTask, ...]
+    indices: tuple[int, ...]
+
+
+def batch_task_key(batch: FeatureBatch) -> tuple:
+    """Journal key of a batch: the tuple of its members' per-feature keys."""
+    return tuple(feature_task_key(task) for task in batch.tasks)
+
+
+def plan_feature_batches(
+    tasks: "list[FeatureTask]",
+    shared: SharedTrainState,
+    max_batch: int = MAX_BATCH_FEATURES,
+) -> "tuple[list[FeatureBatch], list[int]]":
+    """Group batchable tasks; return ``(batches, passthrough_indices)``.
+
+    Tasks are batchable when their target is real-valued (categorical
+    targets keep the per-feature classifier path). Group identity is the
+    byte pattern of the target's observed-row mask plus the input-id
+    array: equal masks mean equal usable rows, and — because the fold
+    permutation is dealt by :func:`fold_rng` from the shared fold seed
+    and the row count — equal rows imply an equal fold layout, completing
+    the ``(rows, input_ids, fold-layout)`` grouping contract. Groups
+    larger than ``max_batch`` split into consecutive chunks (bitwise
+    results are independent of batch boundaries; only amortization and
+    checkpoint granularity change).
+
+    Ordering is deterministic: groups appear in first-member order and
+    members in task order, so plans are identical across runs and modes.
+    """
+    batchable: "dict[tuple[bytes, bytes], list[int]]" = {}
+    passthrough: list[int] = []
+    for pos, task in enumerate(tasks):
+        if shared.schema[task.feature_id].is_categorical:
+            passthrough.append(pos)
+            continue
+        observed = ~np.isnan(shared.x_targets[:, task.feature_id])
+        key = (
+            observed.tobytes(),
+            np.asarray(task.input_ids, dtype=np.intp).tobytes(),
+        )
+        batchable.setdefault(key, []).append(pos)
+    batches: list[FeatureBatch] = []
+    for positions in batchable.values():
+        for lo in range(0, len(positions), max_batch):
+            chunk = positions[lo : lo + max_batch]
+            batches.append(
+                FeatureBatch(
+                    tasks=tuple(tasks[p] for p in chunk),
+                    indices=tuple(chunk),
+                )
+            )
+    return batches, passthrough
+
+
+def run_feature_batch(batch: FeatureBatch) -> "list[tuple[FeatureModel, TaskCost] | None]":
+    """Execute one task group against the executor-shared training state.
+
+    Returns one per-member result in ``batch.tasks`` order, each exactly
+    what :func:`run_feature_task` would have produced for that task: the
+    row/fold gathers and the design-matrix factorization are shared per
+    group, while every per-column operation (target validation,
+    centering, the ``XᵀY`` product, the triangular solves, the error
+    model, entropy) replays the scalar call sequence verbatim — see
+    :mod:`repro.learners.batched` for why that is bitwise-preserving.
+
+    Members share their rows by construction (:func:`plan_feature_batches`
+    groups by the observed-row mask), so the under-``min_observed`` check
+    decides once for the whole group.
+    """
+    shared: SharedTrainState = get_shared()
+    cfg = shared.config
+    start = cpu_seconds()
+
+    first = batch.tasks[0]
+    rows = np.flatnonzero(~np.isnan(shared.x_targets[:, first.feature_id]))
+    if len(rows) < cfg.min_observed:
+        return [None] * len(batch.tasks)
+    input_ids = np.asarray(first.input_ids, dtype=np.intp)
+    x_in = shared.x_imputed[np.ix_(rows, input_ids)]
+    # One design validation for the whole group: every fold subset below
+    # is a row slice of x_in, so finiteness here covers them all. The
+    # solvers are told to skip their own re-check (check=False).
+    check_2d(x_in, "X", allow_nan=False)
+    ys = [shared.x_targets[:, task.feature_id][rows] for task in batch.tasks]
+
+    learner = make_batched_learner(cfg.regressor, **dict(cfg.regressor_params))
+    folds = shared_folds(shared.fold_seed, len(rows), cfg.n_folds)
+
+    bus = get_bus()
+    preds = [np.empty(len(rows)) for _ in batch.tasks]
+    for fold, (train_idx, holdout_idx) in enumerate(folds):
+        # One gather + one factorization per (group, fold) — the whole
+        # point of the batch; the remaining per-column cost is O(n*d) gemv.
+        solver = learner.solver(x_in[train_idx], check=False)  # fraclint: disable=FRL016 -- the amortized per-fold gather (one per group, not per feature); priced in the ledger under run_feature_tasks
+        x_holdout = x_in[holdout_idx]  # fraclint: disable=FRL016 -- amortized holdout gather, shared by every member column
+        for j, task in enumerate(batch.tasks):
+            model = solver.fit_column(ys[j][train_idx])  # fraclint: disable=FRL016 -- per-column target gather; O(n) vector next to the shared O(n*d) factorization
+            preds[j][holdout_idx] = model.predict(x_holdout)
+            if bus is not None:
+                bus.emit(
+                    FoldTrained(
+                        feature_id=int(task.feature_id),
+                        slot=int(task.slot),
+                        fold=fold,
+                        n_folds=len(folds),
+                    )
+                )
+
+    final = learner.solver(x_in, check=False)
+    shared_cpu = cpu_seconds() - start
+    out: "list[tuple[FeatureModel, TaskCost] | None]" = []
+    # The batched tail (ROADMAP Open item 1): the expensive shared work —
+    # gathers and the Gram factorization — is already hoisted into
+    # ``learner.solver`` above; what remains per member is an O(n*d) gemv
+    # column solve plus the error model, deliberately kept as per-column
+    # scalar calls so each replays run_feature_task's float ops verbatim
+    # (bitwise equivalence over raw speed; see repro.learners.batched).
+    for j, task in enumerate(batch.tasks):  # fraclint: disable=FRL015
+        per0 = cpu_seconds()
+        y = ys[j]
+        error_model = GaussianErrorModel(sigma_floor=cfg.sigma_floor)
+        entropy = GaussianKDE().fit(y).entropy()
+        error_model.fit(preds[j], y)
+        cv_mean_surprisal = float(error_model.surprisal(preds[j], y).mean())
+        predictor = final.fit_column(y)
+        cost = TaskCost(
+            # Shared work is split evenly; per-member tails are measured.
+            # The deterministic components (bytes, work units) use the
+            # same formulas as the per-feature path.
+            cpu_seconds=shared_cpu / len(batch.tasks) + (cpu_seconds() - per0),
+            design_bytes=design_matrix_bytes(len(rows), max(len(input_ids), 1)),
+            model_bytes=int(getattr(predictor, "model_nbytes", 0))
+            + error_model.model_nbytes,
+            work_units=training_work_units(len(folds) + 1, len(rows), len(input_ids)),
+        )
+        out.append(
+            (
+                FeatureModel(
+                    feature_id=task.feature_id,
+                    input_ids=input_ids,
+                    predictor=predictor,
+                    error_model=error_model,
+                    entropy=entropy,
+                    cv_mean_surprisal=cv_mean_surprisal,
+                ),
+                cost,
+            )
+        )
+    return out
+
+
+class _FanoutJournal:
+    """Checkpoint adapter fanning one batch append into per-feature appends.
+
+    The batch wave journals through this wrapper so the on-disk journal
+    only ever contains *per-feature* entries — the same keys and values
+    the per-feature path writes, streamed per completed batch. Resume
+    reads the journal at per-feature granularity (the orchestrator's
+    pre-pass), so ``entries()`` is empty by construction: cached features
+    never reach the batch wave.
+    """
+
+    def __init__(self, journal, batches: "list[FeatureBatch]") -> None:
+        self._journal = journal
+        self._keys = {batch_task_key(b): [feature_task_key(t) for t in b.tasks] for b in batches}
+        self.path = getattr(journal, "path", "?")
+
+    def entries(self) -> dict:
+        return {}
+
+    def append(self, key, value) -> None:
+        for feature_key, feature_value in zip(self._keys[key], value):
+            self._journal.append(feature_key, feature_value)
+
+
+def run_feature_tasks(
+    tasks: "list[FeatureTask]",
+    shared: SharedTrainState,
+    *,
+    checkpoint=None,
+    fault_plan: "FaultPlan | None" = None,
+    failures: "FailureReport | None" = None,
+) -> "list[tuple[FeatureModel, TaskCost] | None]":
+    """Execute every work item, batched where the regressor supports it.
+
+    The single training entry point: chooses between the batched executor
+    path and the per-feature path, preserving the per-feature path's
+    observable behaviour in either case (see the module docstring).
+    ``fault_plan`` indices address the per-feature task list, so any plan
+    routes execution down the per-feature path — which keeps every
+    fault-injection proof exact, and lets a poison-plan resume prove that
+    a batched-written journal replays with zero re-executions.
+    """
+    cfg = shared.config
+    use_batched = (
+        cfg.batched_training
+        and fault_plan is None
+        and supports_batching(cfg.regressor)
+    )
+    if use_batched:
+        return _run_batched(tasks, shared, checkpoint, failures)
+    # The reference path: one executor item per (feature, slot). run_tasks
+    # itself picks fail-fast vs resilient from which arguments are set.
+    return run_tasks(
+        run_feature_task,
+        tasks,
+        shared=shared,
+        config=cfg.execution,
+        checkpoint=checkpoint,
+        task_key=feature_task_key,
+        fault_plan=fault_plan,
+        failures=failures,
+    )
+
+
+def _run_batched(tasks, shared, checkpoint, failures):
+    """Batched orchestration with per-feature observable semantics.
+
+    1. *Checkpoint pre-pass* (per feature): cached results resolve without
+       execution, emitting the same ``CheckpointHit``/``CheckpointMiss``
+       and cached-``FeatureTaskFinished`` events, in the same task order,
+       as the resilient per-feature scheduler.
+    2. *Batch wave*: remaining batchable tasks run as quiet coarse items
+       (no batch-level lifecycle events); completed batches stream to the
+       journal through :class:`_FanoutJournal` at per-feature keys. Under
+       a retry policy, transient faults retry at batch granularity and
+       exhausted batches are *decomposed*, never skipped outright.
+    3. *Lifecycle re-emission*: each batch-completed feature gets its
+       ``FeatureTaskStarted``/``FeatureTaskFinished`` pair, so per-feature
+       event counts are replay-identical with the per-feature path.
+    4. *Decomposed + passthrough run*: members of failed batches and
+       non-batchable (categorical) tasks execute per feature under the
+       caller's own retry policy; their lifecycle events are the real
+       ones. Their completions are journaled afterwards (skipped features
+       are not journaled, matching the per-feature scheduler).
+    """
+    cfg = shared.config
+    execution = cfg.execution
+    bus = get_bus()
+    n = len(tasks)
+    keys = [feature_task_key(task) for task in tasks]
+    results: "list" = [None] * n
+    resilient = (
+        execution.retry is not None or checkpoint is not None or failures is not None
+    )
+
+    # 1. Per-feature checkpoint pre-pass.
+    pending: list[int] = list(range(n))
+    if checkpoint is not None:
+        completed = checkpoint.entries()
+        pending = []
+        for i, key in enumerate(keys):
+            if key in completed:
+                results[i] = completed[key]
+                if bus is not None:
+                    bus.emit(CheckpointHit(index=i, key=key))
+                    bus.emit(
+                        FeatureTaskFinished(
+                            index=i, status="cached", attempts=0, key=key
+                        )
+                    )
+            else:
+                if bus is not None:
+                    bus.emit(CheckpointMiss(index=i, key=key))
+                pending.append(i)
+
+    batches, passthrough = plan_feature_batches([tasks[i] for i in pending], shared)
+
+    # 2. Batch wave (quiet: lifecycle is re-emitted per feature below).
+    wave_failures = FailureReport()
+    completed_batches: "list[tuple[FeatureBatch, list]]" = []
+    leftover = [pending[pos] for pos in passthrough]
+    if batches:
+        wave_policy = None
+        if resilient:
+            base = execution.retry or RetryPolicy(max_retries=0, on_exhaustion="raise")
+            wave_policy = replace(
+                base,
+                on_exhaustion="skip",
+                task_timeout=(
+                    None
+                    if base.task_timeout is None
+                    # A batch is up to max-batch features of work; scale the
+                    # per-feature budget so grouping cannot induce timeouts.
+                    else base.task_timeout * max(len(b.tasks) for b in batches)
+                ),
+            )
+        wave_values = run_tasks(
+            run_feature_batch,
+            batches,
+            shared=shared,
+            config=replace(execution, retry=wave_policy),
+            checkpoint=None if checkpoint is None else _FanoutJournal(checkpoint, batches),
+            task_key=batch_task_key,
+            failures=wave_failures if resilient else None,
+            quiet=True,
+        )
+        failed_batches = set(wave_failures.indices())
+        for b, (batch, values) in enumerate(zip(batches, wave_values)):
+            if b in failed_batches or values is None:
+                leftover.extend(pending[pos] for pos in batch.indices)
+                continue
+            completed_batches.append((batch, values))
+            for pos, value in zip(batch.indices, values):
+                results[pending[pos]] = value
+
+    # 3. Re-emit the per-feature lifecycle for batch-completed features.
+    if bus is not None and completed_batches:
+        done = sorted(
+            pending[pos] for batch, _ in completed_batches for pos in batch.indices
+        )
+        for i in done:
+            bus.emit(FeatureTaskStarted(index=i, attempt=0, key=keys[i]))
+            bus.emit(
+                FeatureTaskFinished(
+                    index=i, status="ok", attempts=1, key=keys[i], duration_s=None
+                )
+            )
+
+    # 4. Decomposed batch members + passthrough tasks run per feature.
+    if leftover:
+        leftover.sort()
+        sub = [tasks[i] for i in leftover]
+        if resilient:
+            report = failures if failures is not None else FailureReport()
+            values = run_tasks(
+                run_feature_task,
+                sub,
+                shared=shared,
+                config=execution,
+                task_key=feature_task_key,
+                failures=report,
+            )
+            failed_keys = {f.key for f in report}
+        else:
+            values = run_tasks(
+                run_feature_task,
+                sub,
+                shared=shared,
+                config=execution,
+                task_key=feature_task_key,
+            )
+            failed_keys = set()
+        for i, value in zip(leftover, values):
+            results[i] = value
+            if checkpoint is not None and keys[i] not in failed_keys:
+                checkpoint.append(keys[i], value)
+    return results
 
 
 def score_contributions(

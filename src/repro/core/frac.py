@@ -24,14 +24,12 @@ from repro.core.config import FRaCConfig
 from repro.core.engine import (
     FeatureTask,
     SharedTrainState,
-    feature_task_key,
-    run_feature_task,
+    run_feature_tasks,
     score_contributions,
 )
 from repro.core.imputation import Preprocessor
 from repro.core.types import AnomalyDetector, ContributionMatrix, FeatureModel
 from repro.data.schema import FeatureSchema
-from repro.parallel.executor import run_tasks
 from repro.parallel.faults import FailureReport, FaultPlan
 from repro.parallel.resources import ResourceLog, ResourceReport, design_matrix_bytes
 from repro.telemetry.events import RunFinished, RunStarted, ScoreComputed
@@ -69,6 +67,21 @@ class _SubsetSelector:
         return self.kept[self.kept != target]
 
 
+class _FixedInputsSelector:
+    def __init__(self, input_ids: np.ndarray) -> None:
+        self.input_ids = np.asarray(input_ids, dtype=np.intp)
+        if len(self.input_ids) == 0:
+            raise DataError("fixed input set is empty; nothing to predict from")
+
+    def __call__(self, target: int, slot: int, gen: np.random.Generator) -> np.ndarray:
+        if target in self.input_ids:
+            raise DataError(
+                f"fixed input set contains target feature {target}; "
+                "targets cannot predict themselves"
+            )
+        return self.input_ids
+
+
 class _DiverseSelector:
     def __init__(self, n_features: int, p: float) -> None:
         if not 0.0 < p <= 1.0:
@@ -94,6 +107,19 @@ def all_others_selector(n_features: int) -> InputSelector:
 def subset_selector(kept: np.ndarray) -> InputSelector:
     """Full filtering: inputs come from ``kept`` only (minus the target)."""
     return _SubsetSelector(kept)
+
+
+def fixed_inputs_selector(input_ids: "Sequence[int] | np.ndarray") -> InputSelector:
+    """Every target is predicted from the same fixed input set.
+
+    The sensor-panel wiring: a known panel of driver features predicts
+    every (disjoint) target. Because all targets share their input ids —
+    and, with a fully observed panel, their usable rows — the batched
+    engine groups them into large multi-output fits instead of singleton
+    groups (see :func:`repro.core.engine.plan_feature_batches`). Raises at
+    selection time if a target appears in its own input set.
+    """
+    return _FixedInputsSelector(np.asarray(input_ids, dtype=np.intp))
 
 
 def diverse_selector(n_features: int, p: float) -> InputSelector:
@@ -200,7 +226,16 @@ class FRaC(AnomalyDetector):
                 x_targets = self._pre.transform_keep_missing(x_train)
 
             with span("fit.build_tasks"):
-                seeds = spawn_seeds(self._rng, len(targets) * self.config.n_predictors)
+                # One extra child beyond the per-task seeds: the run's fold
+                # seed. Appended last so the per-task streams — and with
+                # them every checkpoint key — are unchanged by its
+                # introduction (SeedSequence.spawn is prefix-stable).
+                seeds = spawn_seeds(
+                    self._rng, len(targets) * self.config.n_predictors + 1
+                )
+                fold_seed = int(
+                    np.random.default_rng(seeds[-1]).integers(0, 2**31 - 1)
+                )
                 tasks = []
                 k = 0
                 for target in targets:
@@ -224,6 +259,7 @@ class FRaC(AnomalyDetector):
             x_targets=x_targets,
             schema=schema,
             config=self.config,
+            fold_seed=fold_seed,
         )
         _log.info(
             "fitting %d feature models (%d samples, %s mode, %d worker(s))",
@@ -251,25 +287,13 @@ class FRaC(AnomalyDetector):
         )
         try:
             with span("fit.train"):
-                if resilient:
-                    results = run_tasks(
-                        run_feature_task,
-                        tasks,
-                        shared=shared,
-                        config=self.config.execution,
-                        checkpoint=checkpoint,
-                        task_key=feature_task_key,
-                        fault_plan=fault_plan,
-                        failures=failures,
-                    )
-                else:
-                    results = run_tasks(
-                        run_feature_task,
-                        tasks,
-                        shared=shared,
-                        config=self.config.execution,
-                        task_key=feature_task_key,
-                    )
+                results = run_feature_tasks(
+                    tasks,
+                    shared,
+                    checkpoint=checkpoint,
+                    fault_plan=fault_plan,
+                    failures=failures if resilient else None,
+                )
         except Exception:
             if bus is not None:
                 bus.emit(

@@ -47,8 +47,15 @@ class StudySettings:
         Baseline projected dimension, already scaled (paper: 1024 at full
         scale). :meth:`jl_dim` derives the Fig-3 sweep points from it.
     expression_config / snp_config:
-        Engine settings per data kind — linear SVR for expression, decision
-        trees for SNPs, as in §III-B.
+        Engine settings per data kind. SNP runs keep the paper's decision
+        trees (§III-B). Expression runs default to ridge regressors: ridge
+        is the linear SVR's squared-loss twin (same linear hypothesis
+        class, same standardized inputs) with a *batched* multi-output
+        implementation — one Gram factorization per feature group instead
+        of one iterative dual solve per feature — which is what the
+        study's throughput target rides on (ROADMAP Open item 1). Pass
+        ``expression_config=FRaCConfig.paper_expression()`` to restore the
+        paper's exact SVR setting.
     max_retries / task_timeout:
         Fault tolerance for every engine run in the study: when either is
         set, per-feature work items retry up to ``max_retries`` times
@@ -69,7 +76,7 @@ class StudySettings:
     diverse_ensemble_p: float = 1.0 / 20.0
     jl_components: int = 0  # 0 -> derived from scale in __post_init__
     expression_config: FRaCConfig = field(
-        default_factory=lambda: FRaCConfig(regressor="linear_svr", classifier="tree")
+        default_factory=lambda: FRaCConfig(regressor="ridge", classifier="tree")
     )
     snp_config: FRaCConfig = field(
         default_factory=lambda: FRaCConfig(

@@ -1,18 +1,29 @@
 """Learner substrate: from-scratch SVMs, CART trees, ridge, and dummies."""
 
 from repro.learners.base import BaseLearner, Classifier, Regressor
+from repro.learners.batched import BatchedLearner, BatchedRidge, ColumnSolver
 from repro.learners.decision_tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.learners.dummy import MajorityClassifier, MeanRegressor
 from repro.learners.knn import KNNClassifier, KNNRegressor
 from repro.learners.linear_svm import LinearSVC, LinearSVR
 from repro.learners.naive_bayes import CategoricalNB
-from repro.learners.registry import CLASSIFIERS, REGRESSORS, make_learner
+from repro.learners.registry import (
+    BATCHED_REGRESSORS,
+    CLASSIFIERS,
+    REGRESSORS,
+    make_batched_learner,
+    make_learner,
+    supports_batching,
+)
 from repro.learners.ridge import RidgeRegressor
 
 __all__ = [
     "BaseLearner",
     "Regressor",
     "Classifier",
+    "BatchedLearner",
+    "BatchedRidge",
+    "ColumnSolver",
     "LinearSVR",
     "LinearSVC",
     "RidgeRegressor",
@@ -25,5 +36,8 @@ __all__ = [
     "MajorityClassifier",
     "REGRESSORS",
     "CLASSIFIERS",
+    "BATCHED_REGRESSORS",
     "make_learner",
+    "make_batched_learner",
+    "supports_batching",
 ]

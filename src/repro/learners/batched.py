@@ -1,0 +1,157 @@
+"""Batched multi-target fits sharing one design-matrix factorization.
+
+Full FRaC trains `O(f)` models whose design matrices coincide whenever
+tasks share `(rows, input_ids, fold layout)` — multi-slot predictors,
+fixed-panel wirings, and the JL variant all produce such groups. A
+:class:`BatchedLearner` exploits that: it precomputes everything that
+depends only on the design matrix (centering, the Gram matrix, its
+Cholesky factor) once per group, then fits each target column against
+the shared factorization.
+
+The contract is **bitwise equivalence**: for every target column ``y``,
+``BatchedRidge`` must produce the identical ``coef_`` / ``intercept_``
+(`np.array_equal`, not allclose) that ``RidgeRegressor(alpha).fit(x, y)``
+would. That pins the implementation to the exact same floating-point
+operation sequence per column:
+
+- centering and the Gram product are computed from the same arrays the
+  per-feature path would build (numpy's pairwise summation depends only
+  on the element count and order, never on sibling columns);
+- both paths solve through the same raw LAPACK pair
+  (:func:`repro.learners.ridge.spd_factor` = ``dpotrf``,
+  :func:`repro.learners.ridge.spd_solve` = ``dpotrs``) — the exact
+  sequence ``dposv`` runs internally — so sharing the factor across
+  columns does not move a bit, and LAPACK treats 1×1 systems uniformly
+  (no scipy-style scalar-division special case to mirror).
+
+Multi-RHS solves (``dpotrs`` on a matrix RHS) are deliberately *not*
+used: blocked BLAS-3 triangular solves are not guaranteed columnwise
+bit-identical to the vector form. Only the factorization is shared; the
+per-column work replays the scalar path verbatim.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+import numpy as np
+
+from repro.learners.base import BaseLearner
+from repro.learners.ridge import RidgeRegressor, spd_factor, spd_solve
+from repro.utils.validation import check_2d, check_consistent_length
+
+
+class BatchedLearner(BaseLearner):
+    """A learner that amortizes per-design-matrix work across many targets.
+
+    Implementations expose :meth:`solver`, which performs every
+    computation that depends only on the design matrix ``x`` and returns
+    a column solver whose ``fit_column(y)`` yields a fitted single-target
+    learner **bitwise identical** to the registered per-feature learner's
+    ``fit(x, y)``. The engine's batched executor path
+    (:func:`repro.core.engine.run_feature_batch`) calls ``solver`` once
+    per (fold, task-group) and ``fit_column`` once per target feature.
+
+    Batched learners must be deterministic without a per-task seed: the
+    engine does not thread ``learner_seed`` through the batched path
+    (ridge is closed-form; a future seeded batched learner would need a
+    protocol extension, not a silent drop).
+    """
+
+    @abstractmethod
+    def solver(self, x: np.ndarray, *, check: bool = True) -> "ColumnSolver":
+        """Precompute the shared state for design matrix ``x``.
+
+        ``check=False`` skips input validation; callers may pass it when
+        ``x`` is a row subset of a matrix they already validated (the
+        engine validates each group design once, not once per fold).
+        Validation never touches the fitted floats either way.
+        """
+
+    def fit_columns(self, x: np.ndarray, columns) -> list:
+        """Convenience: fit every target column against one shared solver."""
+        shared = self.solver(x)
+        return [shared.fit_column(y) for y in columns]
+
+
+class ColumnSolver:
+    """Per-design-matrix state; ``fit_column`` fits one target against it."""
+
+    @abstractmethod
+    def fit_column(self, y: np.ndarray):
+        """A fitted single-target learner for target column ``y``."""
+
+
+class _RidgeColumnSolver(ColumnSolver):
+    """Shared centering + Gram + Cholesky for one ridge design matrix.
+
+    Solves the smaller of the primal (``d x d``) and dual (``n x n``)
+    normal equations, exactly like :class:`RidgeRegressor.fit` — the
+    branch choice, the centering, and the Gram product are replayed from
+    the same arrays, so every downstream float is identical.
+    """
+
+    def __init__(self, x: np.ndarray, alpha: float, *, check: bool = True) -> None:
+        if check:
+            x = check_2d(x, "X", allow_nan=False)
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._alpha = float(alpha)
+        self._n, self._d = x.shape
+        self._x_mean = x.mean(axis=0)
+        self._xc = x - self._x_mean
+        self._factor = None
+        if self._d == 0:
+            return
+        if self._d <= self._n:
+            gram = self._xc.T @ self._xc
+            gram.flat[:: self._d + 1] += self._alpha
+        else:
+            # Dual (kernelized) form: w = X^T (XX^T + alpha I)^{-1} y.
+            gram = self._xc @ self._xc.T
+            gram.flat[:: self._n + 1] += self._alpha
+        # dposv (what the per-feature path effectively runs) = dpotrf +
+        # dpotrs; sharing the dpotrf here and replaying dpotrs per column
+        # is the whole batching win.
+        self._factor = spd_factor(gram)
+
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
+        return spd_solve(self._factor, rhs)
+
+    def fit_column(self, y: np.ndarray) -> RidgeRegressor:
+        y = np.asarray(y, dtype=np.float64).ravel()
+        check_consistent_length(self._xc, y)
+        if not np.isfinite(y).all():
+            raise ValueError("target y contains non-finite values")
+        y_mean = y.mean()
+        model = RidgeRegressor(alpha=self._alpha)
+        if self._d == 0:
+            model.coef_ = np.zeros(0)
+            model.intercept_ = float(y_mean)
+            return model
+        yc = y - y_mean
+        if self._d <= self._n:
+            model.coef_ = self._solve(self._xc.T @ yc)
+        else:
+            model.coef_ = self._xc.T @ self._solve(yc)
+        model.intercept_ = float(y_mean - self._x_mean @ model.coef_)
+        return model
+
+
+class BatchedRidge(BatchedLearner):
+    """Multi-target ridge: one Gram factorization, many target columns.
+
+    ``BatchedRidge(alpha).solver(x).fit_column(y)`` is bitwise identical
+    to ``RidgeRegressor(alpha).fit(x, y)`` (the module docstring explains
+    why), and returns an actual fitted :class:`RidgeRegressor` so
+    persistence, scoring, and the resource model see the same artifact
+    type either way.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive; got {alpha}")
+        self.alpha = float(alpha)
+
+    def solver(self, x: np.ndarray, *, check: bool = True) -> _RidgeColumnSolver:
+        return _RidgeColumnSolver(x, self.alpha, check=check)

@@ -115,6 +115,9 @@ class _TreeBuilder:
     def build(self, x: np.ndarray, y: np.ndarray) -> _Tree:
         self._nodes = []
         self._grow(x, y, depth=0)
+        return self._assemble()
+
+    def _assemble(self) -> _Tree:
         nodes = self._nodes
         return _Tree(
             feature=np.array([n[0] for n in nodes], dtype=np.intp),
@@ -177,11 +180,136 @@ class _TreeBuilder:
         return idx
 
 
+#: Largest integer code eligible for the contingency-table split search.
+#: SNP matrices (codes 0/1/2) are the motivating case; the cap keeps the
+#: per-node table at ``width x arity x classes`` — tiny for real data.
+_FAST_MAX_CODE = 15
+
+
 class _ClassifierBuilder(_TreeBuilder):
     def __init__(self, criterion: str, classes: np.ndarray, **kw) -> None:
         super().__init__(**kw)
         self.criterion = criterion
         self.classes = classes
+
+    def build(self, x: np.ndarray, y: np.ndarray) -> _Tree:
+        # Small-arity integer designs (SNP 0/1/2 codes) admit a much
+        # cheaper split search over per-node contingency tables. It is
+        # decision-equivalent to the dense sorted sweep in `_grow` — the
+        # cumulative class counts at every distinct-value boundary are the
+        # same integers, so every impurity float, threshold midpoint, and
+        # lexicographic tie-break comes out identical — but skips the
+        # per-node argsort and the (m-1, width, k) impurity arrays.
+        if x.size:
+            xi = x.astype(np.intp)
+            if xi.min() >= 0 and xi.max() <= _FAST_MAX_CODE and (xi == x).all():
+                codes = np.searchsorted(self.classes, y.astype(np.intp))
+                self._nodes = []
+                self._grow_categorical(x, xi, codes, depth=0, arity=int(xi.max()) + 1)
+                return self._assemble()
+        return super().build(x, y)
+
+    def _leaf_from_counts(self, counts: np.ndarray) -> int:
+        idx = len(self._nodes)
+        value = float(self.classes[int(np.argmax(counts))])
+        self._nodes.append([_NO_FEATURE, 0.0, -1, -1, value])
+        return idx
+
+    def _impurity_from_counts_positive(
+        self, counts: np.ndarray, totals: np.ndarray
+    ) -> np.ndarray:
+        """`_impurity_from_counts` when every total is known positive.
+
+        The categorical path only evaluates boundaries with nonempty
+        sides, so the 0/0 errstate guard and the NaN-tolerant reductions
+        of the general version are dead weight there. Same floats: the
+        divisions, ``log2`` inputs, and last-axis sums are element-for-
+        element the ops the general version performs.
+        """
+        p = counts / totals
+        if self.criterion == "gini":
+            return 1.0 - (p * p).sum(axis=-1)
+        logp = np.log2(p, out=np.zeros_like(p), where=p > 0)  # fraclint: disable=FRL003 -- where=p>0 masks the log and the out= zeros fill the guarded lanes; element-for-element the double-where idiom of _impurity_from_counts
+        return -(p * logp).sum(axis=-1)
+
+    def _grow_categorical(
+        self, x: np.ndarray, xi: np.ndarray, codes: np.ndarray, depth: int, arity: int
+    ) -> int:
+        m = len(codes)
+        k = len(self.classes)
+        counts_node = np.bincount(codes, minlength=k)
+        parent_imp = float(
+            self._impurity_from_counts_positive(counts_node, np.float64(m))
+        )
+        if (
+            depth >= self.max_depth
+            or m < self.min_samples_split
+            or m < 2 * self.min_samples_leaf
+            or parent_imp <= 1e-12
+        ):
+            return self._leaf_from_counts(counts_node)
+
+        cand = self._candidate_features(x.shape[1])
+        sub = xi if self.max_features is None else xi[:, cand]
+        width = sub.shape[1]
+        # table[w, v, c] = count of rows in this node with code v in column
+        # w and class c; one bincount replaces the dense argsort/cumsum.
+        flat = sub * k + codes[:, None] + np.arange(width) * (arity * k)
+        table = np.bincount(flat.ravel(), minlength=width * arity * k).reshape(
+            width, arity, k
+        )
+        cum = table.cumsum(axis=1)  # left-side class counts at boundary v
+        cum_n = cum.sum(axis=2)  # left-side sizes
+        cnt_v = table.sum(axis=2)  # rows per (column, value)
+
+        # A boundary after value v exists where v is present and rows
+        # remain on the right; the leaf-size floors mirror the dense
+        # `valid` mask exactly.
+        msl = self.min_samples_leaf
+        valid = (cnt_v > 0) & (cum_n < m) & (cum_n >= msl) & ((m - cum_n) >= msl)
+        if not valid.any():
+            return self._leaf_from_counts(counts_node)
+
+        ccol, vval = np.nonzero(valid)
+        lc = cum[ccol, vval]  # (q, k) integer class counts, left side
+        sz = cum_n[ccol, vval]  # (q,) left sizes — dense pos = sz - 1
+        left = self._impurity_from_counts_positive(
+            lc, sz[:, None].astype(np.float64)
+        )
+        right = self._impurity_from_counts_positive(
+            counts_node[None, :] - lc, (m - sz)[:, None].astype(np.float64)
+        )
+        weighted = (sz * left + (m - sz) * right) / m
+        best = weighted.min()
+        if not np.isfinite(best):
+            return self._leaf_from_counts(counts_node)
+        if parent_imp - best <= 1e-12:
+            return self._leaf_from_counts(counts_node)
+        # The dense argmin scans (pos, col) row-major, so ties break to the
+        # smallest flat index pos * width + col; replay that exactly.
+        tie = np.flatnonzero(weighted == best)
+        j = tie[np.argmin((sz[tie] - 1) * width + ccol[tie])]
+
+        col = int(ccol[j])
+        feature = int(cand[col])
+        v_lo = int(vval[j])
+        above = np.flatnonzero(cnt_v[col, v_lo + 1 :] > 0)
+        v_hi = v_lo + 1 + int(above[0])
+        threshold = 0.5 * (float(v_lo) + float(v_hi))
+        go_left = x[:, feature] <= threshold
+
+        idx = len(self._nodes)
+        self._nodes.append([feature, float(threshold), -1, -1, 0.0])
+        left_child = self._grow_categorical(
+            x[go_left], xi[go_left], codes[go_left], depth + 1, arity
+        )
+        not_left = ~go_left
+        right_child = self._grow_categorical(
+            x[not_left], xi[not_left], codes[not_left], depth + 1, arity
+        )
+        self._nodes[idx][2] = left_child
+        self._nodes[idx][3] = right_child
+        return idx
 
     def leaf_value(self, y: np.ndarray) -> float:
         counts = np.bincount(

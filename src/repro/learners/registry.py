@@ -7,10 +7,12 @@ those names to constructors.
 
 from __future__ import annotations
 
+import functools
 import inspect
 from typing import Callable
 
 from repro.learners.base import BaseLearner, Classifier, Regressor
+from repro.learners.batched import BatchedLearner, BatchedRidge
 from repro.learners.decision_tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.learners.dummy import MajorityClassifier, MeanRegressor
 from repro.learners.knn import KNNClassifier, KNNRegressor
@@ -24,6 +26,17 @@ REGRESSORS: dict[str, Callable[..., Regressor]] = {
     "tree_regressor": DecisionTreeRegressor,
     "knn_regressor": KNNRegressor,
     "mean": MeanRegressor,
+}
+
+#: Regressors with a batched (multi-target, shared-factorization)
+#: counterpart, keyed by the *same* registry name as the per-feature
+#: learner so one config string selects both paths. The batched class
+#: must accept the identical constructor parameters and produce fitted
+#: per-feature learners bitwise equal to ``REGRESSORS[name]`` — the
+#: engine's equivalence suite (tests/core/test_batched_equivalence.py)
+#: enforces this for every entry.
+BATCHED_REGRESSORS: dict[str, Callable[..., BatchedLearner]] = {
+    "ridge": BatchedRidge,
 }
 
 CLASSIFIERS: dict[str, Callable[..., Classifier]] = {
@@ -44,8 +57,14 @@ def learner_constructor(name: str) -> Callable[..., BaseLearner]:
         raise ValueError(f"unknown learner {name!r}; available: {sorted(table)}") from None
 
 
+@functools.lru_cache(maxsize=None)
 def learner_accepts_param(name: str, param: str) -> bool:
     """Whether ``name``'s constructor accepts keyword argument ``param``.
+
+    Cached: the engine asks this once per feature task, and signature
+    inspection costs more than a small fit. The registry tables are
+    module-level constants, so the answer for a name never changes
+    within a process.
 
     Decided by signature inspection, not by try/except around construction:
     catching ``TypeError`` there cannot distinguish "this learner takes no
@@ -73,3 +92,26 @@ def learner_accepts_param(name: str, param: str) -> bool:
 def make_learner(name: str, **kwargs) -> BaseLearner:
     """Instantiate a learner by registry name, forwarding hyper-parameters."""
     return learner_constructor(name)(**kwargs)
+
+
+def supports_batching(name: str) -> bool:
+    """Whether regressor ``name`` advertises a batched implementation."""
+    return name in BATCHED_REGRESSORS
+
+
+def make_batched_learner(name: str, **kwargs) -> BatchedLearner:
+    """Instantiate the batched counterpart of regressor ``name``.
+
+    ``kwargs`` are the per-feature learner's hyper-parameters verbatim —
+    batched classes mirror their scalar twin's constructor signature, so a
+    parameter the scalar learner would reject raises the same TypeError
+    here instead of silently diverging between the two paths.
+    """
+    try:
+        ctor = BATCHED_REGRESSORS[name]
+    except KeyError:
+        raise ValueError(
+            f"regressor {name!r} has no batched implementation; "
+            f"available: {sorted(BATCHED_REGRESSORS)}"
+        ) from None
+    return ctor(**kwargs)

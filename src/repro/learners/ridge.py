@@ -10,10 +10,37 @@ paper's regime of tiny n and huge d.
 from __future__ import annotations
 
 import numpy as np
-from scipy import linalg
+from scipy.linalg import lapack
 
 from repro.learners.base import Regressor
 from repro.utils.validation import check_2d, check_fitted
+
+
+def spd_factor(gram: np.ndarray) -> np.ndarray:
+    """Upper-triangular Cholesky factor of an SPD matrix, via ``dpotrf``.
+
+    The raw LAPACK routine, not ``scipy.linalg.cho_factor``: at FRaC's
+    per-feature matrix sizes (tens of rows) the scipy wrapper's validation
+    layer costs several times the factorization itself, and the engine
+    calls this once per (feature group, fold). Bitwise contract:
+    ``spd_solve(spd_factor(g), b)`` is ``dpotrf`` + ``dpotrs``, which is
+    exactly the call sequence inside ``dposv`` — so factoring once and
+    solving per column replays a one-shot solve identically.
+    """
+    factor, info = lapack.dpotrf(gram, lower=0, clean=0)
+    if info != 0:
+        raise np.linalg.LinAlgError(
+            f"Gram matrix is not positive definite (dpotrf info={info})"
+        )
+    return factor
+
+
+def spd_solve(factor: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve against a :func:`spd_factor` result, via ``dpotrs``."""
+    solution, info = lapack.dpotrs(factor, rhs, lower=0)
+    if info != 0:  # pragma: no cover - dpotrs only fails on bad arguments
+        raise np.linalg.LinAlgError(f"dpotrs failed (info={info})")
+    return solution
 
 
 class RidgeRegressor(Regressor):
@@ -51,12 +78,12 @@ class RidgeRegressor(Regressor):
         if d <= n:
             gram = xc.T @ xc
             gram.flat[:: d + 1] += self.alpha
-            self.coef_ = linalg.solve(gram, xc.T @ yc, assume_a="pos")
+            self.coef_ = spd_solve(spd_factor(gram), xc.T @ yc)
         else:
             # Dual (kernelized) form: w = X^T (XX^T + alpha I)^{-1} y.
             gram = xc @ xc.T
             gram.flat[:: n + 1] += self.alpha
-            self.coef_ = xc.T @ linalg.solve(gram, yc, assume_a="pos")
+            self.coef_ = xc.T @ spd_solve(spd_factor(gram), yc)
         self.intercept_ = float(y_mean - x_mean @ self.coef_)
         return self
 

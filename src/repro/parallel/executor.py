@@ -146,6 +146,7 @@ def run_tasks(
     task_key: "Callable[[T], Any] | None" = None,
     fault_plan: "FaultPlan | None" = None,
     failures: "FailureReport | None" = None,
+    quiet: bool = False,
 ) -> list[R]:
     """Apply ``fn`` to every item, in order, under the configured mode.
 
@@ -170,6 +171,13 @@ def run_tasks(
         A :class:`~repro.parallel.faults.FailureReport` to fill with any
         items skipped after exhausting retries. Skipped items yield
         ``None`` in the returned list.
+    quiet:
+        Suppress this batch's executor-side telemetry (task-lifecycle,
+        checkpoint, retry/crash events). Work functions still see the
+        live bus. The engine's batched path runs its coarse *batch* items
+        quiet and re-emits the lifecycle at per-feature granularity
+        itself, keeping event streams replay-identical with the
+        per-feature path regardless of how features were grouped.
     """
     config = config or ExecutionConfig()
     items = list(items)
@@ -182,9 +190,9 @@ def run_tasks(
     if not items:
         return []
     if not resilient:
-        return _run_fast(fn, items, shared, config, task_key)
+        return _run_fast(fn, items, shared, config, task_key, quiet)
     outcomes = _run_resilient(
-        fn, items, shared, config, checkpoint, task_key, fault_plan, failures
+        fn, items, shared, config, checkpoint, task_key, fault_plan, failures, quiet
     )
     return [outcome.value for outcome in outcomes]
 
@@ -229,8 +237,9 @@ def _run_fast(
     shared: Any,
     config: ExecutionConfig,
     task_key: "Callable[[T], Any] | None" = None,
+    quiet: bool = False,
 ) -> list[R]:
-    bus = get_bus()
+    bus = None if quiet else get_bus()
     keys: "list[Any] | None" = None
     if bus is not None and task_key is not None:
         keys = [task_key(item) for item in items]
@@ -317,13 +326,14 @@ class _Scheduler:
         keys: "list[Any] | None",
         checkpoint: Any,
         failures: "FailureReport | None",
+        quiet: bool = False,
     ) -> None:
         self.policy = policy
         self.keys = keys
         self.checkpoint = checkpoint
         self.failures = failures if failures is not None else FailureReport()
         self.outcomes: "list[TaskOutcome | None]" = [None] * n
-        self.bus = get_bus()
+        self.bus = None if quiet else get_bus()
 
     def key_for(self, index: int) -> Any:
         return None if self.keys is None else self.keys[index]
@@ -410,6 +420,7 @@ def _run_resilient(
     task_key: "Callable[[T], Any] | None",
     fault_plan: "FaultPlan | None",
     failures: "FailureReport | None",
+    quiet: bool = False,
 ) -> list[TaskOutcome]:
     # With no explicit policy the resilient path keeps fail-fast semantics
     # (no retries, first error raises) while still honouring checkpoints.
@@ -423,7 +434,7 @@ def _run_resilient(
     if checkpoint is not None and keys is None:
         raise ReproError("checkpointing requires a task_key")
 
-    sched = _Scheduler(len(items), policy, keys, checkpoint, failures)
+    sched = _Scheduler(len(items), policy, keys, checkpoint, failures, quiet)
 
     pending: list[tuple[int, int]] = []  # (item index, attempts so far)
     if checkpoint is not None:

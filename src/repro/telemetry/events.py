@@ -42,6 +42,13 @@ def _json_safe(value: Any) -> Any:
     return value
 
 
+#: Per-class field-name cache: ``dataclasses.fields`` walks the MRO on
+#: every call, and the trace sink serializes tens of thousands of events
+#: per run. Field sets are fixed at class-creation time, so one lookup
+#: per class suffices.
+_FIELD_NAMES: dict[type, tuple] = {}
+
+
 @dataclass(frozen=True)
 class TelemetryEvent:
     """Base class: one observed fact about a run."""
@@ -51,7 +58,11 @@ class TelemetryEvent:
 
     def to_dict(self) -> dict:
         """JSON-safe payload (event name excluded; the record adds it)."""
-        return {f.name: _json_safe(getattr(self, f.name)) for f in fields(self)}
+        names = _FIELD_NAMES.get(type(self))
+        if names is None:
+            names = tuple(f.name for f in fields(self))
+            _FIELD_NAMES[type(self)] = names
+        return {n: _json_safe(getattr(self, n)) for n in names}
 
     def signature(self) -> tuple:
         """Hashable determinism signature: name + non-timing payload.

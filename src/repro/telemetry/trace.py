@@ -237,7 +237,10 @@ def summarize_trace(result: "TraceReadResult | list") -> TraceSummary:
 SPAN_QUALNAMES = {
     "fit.preprocess": "repro.core.imputation.Preprocessor.fit",
     "fit.build_tasks": "repro.core.frac.FRaC.fit",
-    "fit.train": "repro.core.engine.run_feature_task",
+    # The training span wraps the batched/per-feature dispatcher, so
+    # findings in run_feature_task AND run_feature_batch both price to it
+    # (the ledger walks call-graph reachability from this function).
+    "fit.train": "repro.core.engine.run_feature_tasks",
     "score.contributions": "repro.core.engine.score_contributions",
     "jl.project": "repro.core.preprojection.JLFRaC._project",
     "ensemble.member": "repro.core.ensemble.FRaCEnsemble.fit",

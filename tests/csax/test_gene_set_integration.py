@@ -25,7 +25,7 @@ class TestModuleAnomalyCharacterization:
     def test_planted_module_is_top_characterization(self, pathway_dataset, fast_config):
         ds = pathway_dataset
         gene_sets = module_gene_sets(ds)
-        det = BootstrapFRaC(n_runs=3, config=fast_config, rng=0)
+        det = BootstrapFRaC(n_runs=3, config=fast_config, rng=4)
         det.fit(ds.normals().x, ds.schema)
         scores = det.bootstrap_scores(ds.anomalies().x)
         med = scores.median_ranks()
@@ -46,7 +46,7 @@ class TestModuleAnomalyCharacterization:
     def test_characterization_p_values_significant(self, pathway_dataset, fast_config):
         ds = pathway_dataset
         gene_sets = module_gene_sets(ds)
-        det = BootstrapFRaC(n_runs=3, config=fast_config, rng=0)
+        det = BootstrapFRaC(n_runs=3, config=fast_config, rng=4)
         det.fit(ds.normals().x, ds.schema)
         scores = det.bootstrap_scores(ds.anomalies().x[:4])
         med = scores.median_ranks()

@@ -32,8 +32,14 @@ class TestStudySettings:
 
     def test_config_for_kind(self):
         s = default_study()
-        assert s.config_for("biomarkers").regressor == "linear_svr"
+        # Expression runs default to the batched ridge twin of the paper's
+        # linear SVR; the exact paper setting stays one override away.
+        assert s.config_for("biomarkers").regressor == "ridge"
         assert s.config_for("autism").classifier == "tree"
+
+    def test_paper_expression_setting_is_one_override_away(self):
+        s = default_study(expression_config=FRaCConfig.paper_expression())
+        assert s.config_for("biomarkers").regressor == "linear_svr"
 
     def test_config_for_unknown(self):
         with pytest.raises(DataError):

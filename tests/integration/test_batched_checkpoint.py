@@ -1,0 +1,171 @@
+"""Batched execution vs checkpoint/fault semantics (ISSUE 7 satellites).
+
+The batched executor path must preserve the per-feature path's crash
+model exactly: journals written by either path interchange (same keys,
+same values), a resumed fit re-executes zero completed items whichever
+path wrote the journal, and a failing *batch* decomposes to per-feature
+execution instead of taking its members down with it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FRaC, FRaCConfig, load_replicates
+from repro.parallel import (
+    CheckpointJournal,
+    ExecutionConfig,
+    FaultPlan,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+@pytest.fixture(scope="module")
+def rep():
+    return load_replicates("breast.basal", scale=0.03, rng=5)[0]
+
+
+def _policy(**overrides):
+    defaults = dict(max_retries=2, backoff_base=0.001, backoff_max=0.01)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def _fit(rep, *, rng=33, batched=True, fault_plan=None, checkpoint=None, policy=None):
+    cfg = FRaCConfig.fast(
+        batched_training=batched,
+        execution=ExecutionConfig(mode="serial", n_workers=1, retry=policy),
+    )
+    frac = FRaC(cfg, rng=rng)
+    frac.fit(rep.x_train, rep.schema, fault_plan=fault_plan, checkpoint=checkpoint)
+    return frac
+
+
+class TestJournalInterchange:
+    def test_batched_and_per_feature_journals_share_keys(self, rep, tmp_path):
+        """The batched path journals under per-feature keys: both paths
+        produce the identical key set for the identical run."""
+        with CheckpointJournal(tmp_path / "batched.journal") as journal:
+            _fit(rep, batched=True, checkpoint=journal)
+            batched_keys = set(journal.entries())
+            assert journal.appended == len(batched_keys) > 0
+        with CheckpointJournal(tmp_path / "scalar.journal") as journal:
+            _fit(rep, batched=False, checkpoint=journal)
+            scalar_keys = set(journal.entries())
+        assert batched_keys == scalar_keys
+        # Per-feature granularity, not batch granularity: every key is one
+        # (feature_id, slot, seed) triple.
+        assert all(len(k) == 3 for k in batched_keys)
+
+    def test_per_feature_journal_resumed_by_batched_run(self, rep, tmp_path):
+        """A journal written by the per-feature path fully satisfies a
+        batched resume: zero items re-execute."""
+        path = tmp_path / "fit.journal"
+        with CheckpointJournal(path) as journal:
+            first = _fit(rep, batched=False, checkpoint=journal)
+            n_items = journal.appended
+            assert n_items > 0
+        with CheckpointJournal(path) as journal:
+            resumed = _fit(rep, batched=True, checkpoint=journal)
+            assert journal.preloaded == n_items and journal.appended == 0
+        np.testing.assert_array_equal(
+            first.score(rep.x_test), resumed.score(rep.x_test)
+        )
+
+
+class TestBatchedResume:
+    def test_batched_journal_resumes_with_zero_reexecution(self, rep, tmp_path):
+        """Poison-plan proof: resume a batched-written journal under a plan
+        that fails every item on every attempt. A fault plan routes the
+        resume down the per-feature path, so identical scores prove both
+        zero re-executions *and* cross-path journal compatibility."""
+        path = tmp_path / "fit.journal"
+        with CheckpointJournal(path) as journal:
+            first = _fit(rep, batched=True, checkpoint=journal)
+            n_items = journal.appended
+            assert n_items > 0
+
+        poison = FaultPlan(
+            {(i, k): "raise" for i in range(n_items) for k in range(3)}
+        )
+        with CheckpointJournal(path) as journal:
+            resumed = _fit(
+                rep,
+                batched=False,
+                policy=_policy(on_exhaustion="raise"),
+                checkpoint=journal,
+                fault_plan=poison,
+            )
+            assert journal.preloaded == n_items and journal.appended == 0
+        np.testing.assert_array_equal(
+            first.score(rep.x_test), resumed.score(rep.x_test)
+        )
+
+    def test_partial_batched_journal_resumes_only_missing_items(self, rep, tmp_path):
+        """A truncated batched journal (simulated kill) replays its prefix
+        and executes only the missing features on the batched path."""
+        path = tmp_path / "fit.journal"
+        with CheckpointJournal(path) as journal:
+            _fit(rep, batched=True, checkpoint=journal)
+            full = journal.appended
+        # Drop the last half of the journal: rewrite only a prefix.
+        with CheckpointJournal(path) as journal:
+            entries = list(journal.entries().items())
+        keep = entries[: full // 2]
+        path.unlink()
+        with CheckpointJournal(path) as journal:
+            for key, value in keep:
+                journal.append(key, value)
+        with CheckpointJournal(path) as journal:
+            resumed = _fit(rep, batched=True, checkpoint=journal)
+            assert journal.preloaded == len(keep)
+            assert journal.appended == full - len(keep)
+        clean = _fit(rep, batched=True)
+        np.testing.assert_array_equal(
+            clean.score(rep.x_test), resumed.score(rep.x_test)
+        )
+
+
+class _ExplodingBatchedRidge:
+    """A batched learner whose shared solver always fails."""
+
+    def solver(self, x, *, check=True):
+        raise RuntimeError("injected batch failure")
+
+
+class TestBatchFailureDecomposition:
+    def test_failing_batch_decomposes_to_per_feature(self, rep, monkeypatch):
+        """When every batch fails, members fall back to per-feature
+        execution and the fit still matches a clean run bit for bit."""
+        clean = _fit(rep, batched=True)
+        monkeypatch.setattr(
+            "repro.core.engine.make_batched_learner",
+            lambda name, **kwargs: _ExplodingBatchedRidge(),
+        )
+        decomposed = _fit(rep, batched=True, policy=_policy(max_retries=1))
+        assert decomposed.failure_report_ is not None
+        assert not decomposed.failure_report_  # no feature was lost
+        assert decomposed.n_failed_ == 0
+        np.testing.assert_array_equal(
+            clean.score(rep.x_test), decomposed.score(rep.x_test)
+        )
+
+    def test_failing_batch_journals_per_feature_completions(
+        self, rep, tmp_path, monkeypatch
+    ):
+        """Decomposed members still stream into the journal at per-feature
+        keys, so a later resume sees a complete journal."""
+        monkeypatch.setattr(
+            "repro.core.engine.make_batched_learner",
+            lambda name, **kwargs: _ExplodingBatchedRidge(),
+        )
+        path = tmp_path / "fit.journal"
+        with CheckpointJournal(path) as journal:
+            _fit(rep, batched=True, checkpoint=journal, policy=_policy(max_retries=1))
+            n_items = journal.appended
+            assert n_items > 0
+        monkeypatch.undo()
+        with CheckpointJournal(path) as journal:
+            _fit(rep, batched=True, checkpoint=journal)
+            assert journal.preloaded == n_items and journal.appended == 0

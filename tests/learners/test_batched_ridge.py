@@ -1,0 +1,144 @@
+"""BatchedRidge vs RidgeRegressor: columnwise bitwise equivalence.
+
+The batched solver shares one centering + Gram + Cholesky per design
+matrix; the contract (see :mod:`repro.learners.batched`) is that every
+``fit_column(y)`` reproduces ``RidgeRegressor(alpha).fit(x, y)``
+*bitwise* — ``np.array_equal`` on ``coef_``, ``==`` on ``intercept_`` —
+across shapes, regimes (primal d<=n and dual d>n), alphas, and the edge
+cases the engine can feed it (d==0, constant targets, near-singular
+Grams from duplicated columns).
+"""
+
+import numpy as np
+import pytest
+
+from repro.learners.batched import BatchedLearner, BatchedRidge
+from repro.learners.registry import make_batched_learner, supports_batching
+from repro.learners.ridge import RidgeRegressor
+
+
+def assert_column_equivalent(x, y, alpha):
+    scalar = RidgeRegressor(alpha=alpha).fit(x, y)
+    batched = BatchedRidge(alpha=alpha).solver(x).fit_column(y)
+    np.testing.assert_array_equal(batched.coef_, scalar.coef_)
+    assert batched.intercept_ == scalar.intercept_
+    if x.shape[1]:
+        # Identical parameters must predict identically, bit for bit.
+        probe = np.linspace(-2.0, 2.0, 7 * x.shape[1]).reshape(7, -1)
+        np.testing.assert_array_equal(batched.predict(probe), scalar.predict(probe))
+
+
+class TestBitwiseProperty:
+    def test_random_shapes_and_alphas(self):
+        """200 random (n, d, k, alpha) draws covering primal and dual."""
+        rng = np.random.default_rng(0)
+        for trial in range(200):
+            n = int(rng.integers(2, 40))
+            d = int(rng.integers(0, 30))
+            k = int(rng.integers(1, 6))
+            alpha = float(10.0 ** rng.uniform(-3, 3))
+            x = rng.normal(size=(n, d))
+            solver = BatchedRidge(alpha=alpha).solver(x)
+            for _ in range(k):
+                y = rng.normal(size=n)
+                scalar = RidgeRegressor(alpha=alpha).fit(x, y)
+                col = solver.fit_column(y)
+                assert np.array_equal(col.coef_, scalar.coef_), (trial, n, d, alpha)
+                assert col.intercept_ == scalar.intercept_, (trial, n, d, alpha)
+
+    def test_single_input_column(self):
+        # d == 1: LAPACK must handle the 1x1 system without a scalar
+        # special case diverging from the per-feature path.
+        rng = np.random.default_rng(1)
+        assert_column_equivalent(rng.normal(size=(15, 1)), rng.normal(size=15), 0.5)
+
+    def test_zero_input_columns(self):
+        rng = np.random.default_rng(2)
+        x = np.empty((10, 0))
+        y = rng.normal(size=10)
+        assert_column_equivalent(x, y, 1.0)
+        col = BatchedRidge(1.0).solver(x).fit_column(y)
+        assert col.coef_.shape == (0,)
+        assert col.intercept_ == y.mean()
+
+    def test_constant_target(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(12, 4))
+        assert_column_equivalent(x, np.full(12, 3.25), 1.0)
+
+    def test_duplicate_columns_near_singular_gram(self):
+        # Rank-deficient X: only the ridge term keeps the Gram SPD. Both
+        # paths must agree bit-for-bit even at tiny alpha.
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(20, 3))
+        x = np.hstack([base, base])
+        assert_column_equivalent(x, rng.normal(size=20), 1e-6)
+
+    def test_dual_regime(self):
+        rng = np.random.default_rng(5)
+        assert_column_equivalent(rng.normal(size=(6, 40)), rng.normal(size=6), 2.0)
+
+    def test_fit_columns_convenience(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(18, 5))
+        ys = [rng.normal(size=18) for _ in range(4)]
+        models = BatchedRidge(0.7).fit_columns(x, ys)
+        for y, model in zip(ys, models):
+            scalar = RidgeRegressor(alpha=0.7).fit(x, y)
+            np.testing.assert_array_equal(model.coef_, scalar.coef_)
+            assert model.intercept_ == scalar.intercept_
+
+
+class TestValidation:
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BatchedRidge(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            BatchedRidge(alpha=-1.0)
+
+    def test_nan_design_rejected(self):
+        x = np.ones((5, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(Exception):
+            BatchedRidge(1.0).solver(x)
+
+    def test_nonfinite_target_rejected(self):
+        rng = np.random.default_rng(7)
+        solver = BatchedRidge(1.0).solver(rng.normal(size=(8, 2)))
+        y = rng.normal(size=8)
+        y[3] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            solver.fit_column(y)
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BatchedRidge(1.0).solver(np.empty((0, 3)))
+
+    def test_length_mismatch_rejected(self):
+        solver = BatchedRidge(1.0).solver(np.ones((6, 2)))
+        with pytest.raises(Exception):
+            solver.fit_column(np.ones(5))
+
+    def test_check_false_skips_validation_not_floats(self):
+        # The engine validates the group design once and passes
+        # check=False per fold; the fitted floats must not depend on it.
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(20, 4))
+        y = rng.normal(size=20)
+        sub = x[2:15]
+        checked = BatchedRidge(1.0).solver(sub, check=True).fit_column(y[2:15])
+        unchecked = BatchedRidge(1.0).solver(sub, check=False).fit_column(y[2:15])
+        np.testing.assert_array_equal(checked.coef_, unchecked.coef_)
+        assert checked.intercept_ == unchecked.intercept_
+
+
+class TestRegistryIntegration:
+    def test_ridge_supports_batching(self):
+        assert supports_batching("ridge")
+        learner = make_batched_learner("ridge", alpha=0.3)
+        assert isinstance(learner, BatchedLearner)
+        assert learner.alpha == 0.3
+
+    def test_unbatchable_learners_say_no(self):
+        assert not supports_batching("linear_svr")
+        assert not supports_batching("tree")

@@ -166,3 +166,74 @@ class TestClassifierProperties:
         base = DecisionTreeClassifier(max_depth=3, seed=0).fit(x, y).predict(x)
         moved = DecisionTreeClassifier(max_depth=3, seed=0).fit(x + shift, y).predict(x + shift)
         np.testing.assert_array_equal(base, moved)
+
+
+class TestCategoricalFastPath:
+    """The contingency-table split search for small-integer designs must be
+    decision-equivalent to the dense sorted sweep: identical trees (arrays,
+    not just predictions), including under max_features subsampling."""
+
+    @staticmethod
+    def _dense_fit(monkeypatch, clf, x, y):
+        from repro.learners import decision_tree as dt
+
+        monkeypatch.setattr(dt, "_FAST_MAX_CODE", -1)  # force the dense sweep
+        return clf.fit(x, y)
+
+    def _assert_same_tree(self, fast, dense):
+        np.testing.assert_array_equal(fast.tree_.feature, dense.tree_.feature)
+        np.testing.assert_array_equal(fast.tree_.threshold, dense.tree_.threshold)
+        np.testing.assert_array_equal(fast.tree_.left, dense.tree_.left)
+        np.testing.assert_array_equal(fast.tree_.right, dense.tree_.right)
+        np.testing.assert_array_equal(fast.tree_.value, dense.tree_.value)
+
+    @pytest.mark.parametrize("criterion", ["gini", "entropy"])
+    def test_random_snp_designs_build_identical_trees(self, monkeypatch, criterion):
+        rng = np.random.default_rng(0)
+        for trial in range(25):
+            n = int(rng.integers(6, 60))
+            d = int(rng.integers(1, 8))
+            arity = int(rng.integers(2, 5))
+            x = rng.integers(0, arity, size=(n, d)).astype(np.float64)
+            y = rng.integers(0, 3, size=n).astype(np.float64)
+            params = dict(
+                criterion=criterion,
+                max_depth=int(rng.integers(1, 6)),
+                min_samples_leaf=int(rng.integers(1, 3)),
+            )
+            fast = DecisionTreeClassifier(**params).fit(x, y)
+            with pytest.MonkeyPatch.context() as mp:
+                dense = self._dense_fit(mp, DecisionTreeClassifier(**params), x, y)
+            self._assert_same_tree(fast, dense)
+
+    def test_max_features_consumes_rng_identically(self, monkeypatch):
+        # The fast path must draw candidate features from the same stream
+        # positions as the dense path, or seeded runs diverge.
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 3, size=(40, 6)).astype(np.float64)
+        y = rng.integers(0, 3, size=40).astype(np.float64)
+        params = dict(max_depth=5, max_features=3, seed=7)
+        fast = DecisionTreeClassifier(**params).fit(x, y)
+        with pytest.MonkeyPatch.context() as mp:
+            dense = self._dense_fit(mp, DecisionTreeClassifier(**params), x, y)
+        self._assert_same_tree(fast, dense)
+
+    def test_non_integer_design_takes_the_dense_path(self):
+        # Real-valued x must not trip the integer gate; the fit must still
+        # work (this is the reference path the fast path defers to).
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 3))
+        y = (x[:, 0] > 0).astype(np.float64)
+        clf = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.9
+
+    def test_codes_above_cap_take_the_dense_path(self, monkeypatch):
+        from repro.learners import decision_tree as dt
+
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, dt._FAST_MAX_CODE + 5, size=(50, 2)).astype(np.float64)
+        y = rng.integers(0, 2, size=50).astype(np.float64)
+        fast_gate = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        with pytest.MonkeyPatch.context() as mp:
+            dense = self._dense_fit(mp, DecisionTreeClassifier(max_depth=4), x, y)
+        self._assert_same_tree(fast_gate, dense)

@@ -182,7 +182,7 @@ class TestAttribution:
     def test_known_spans_map_and_parameter_suffix_is_stripped(self):
         from repro.telemetry.trace import SPAN_QUALNAMES, qualname_for_span
 
-        assert qualname_for_span("fit.train") == "repro.core.engine.run_feature_task"
+        assert qualname_for_span("fit.train") == "repro.core.engine.run_feature_tasks"
         assert (
             qualname_for_span("ensemble.member[7]")
             == SPAN_QUALNAMES["ensemble.member"]
@@ -202,7 +202,7 @@ class TestAttribution:
             rec(7, "FeatureTaskFinished", status="ok", duration_s=0.1),
         ]
         costs = attribute_trace(records)
-        train = costs["repro.core.engine.run_feature_task"]
+        train = costs["repro.core.engine.run_feature_tasks"]
         assert train.wall_s == pytest.approx(5.0)
         assert train.cpu_s == pytest.approx(4.0)
         assert train.n_spans == 2

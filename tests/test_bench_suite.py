@@ -1,6 +1,7 @@
 """Meta-tests on the benchmark suite itself (structure, not execution)."""
 
 import ast
+import json
 import re
 from pathlib import Path
 
@@ -56,3 +57,70 @@ class TestBenchSuiteStructure:
                     assert hasattr(module, alias.name), (
                         f"{path.name}: {node.module}.{alias.name} missing"
                     )
+
+
+class TestTable2Trajectory:
+    """The committed BENCH_table2.json perf trajectory (ISSUE 7).
+
+    The trajectory document is the regression anchor for the batched
+    training rewrite: it must keep both the pre-batching baseline and the
+    batched entry, and the batched entry must hold the >=10x features/s
+    acceptance bar against that committed baseline.
+    """
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return json.loads(
+            (BENCH_DIR / "results" / "BENCH_table2.json").read_text(encoding="utf-8")
+        )
+
+    def test_is_a_v2_trajectory_with_pre_and_post_entries(self, payload):
+        assert payload["format"] == "repro-bench-table2-v2"
+        labels = [e["label"] for e in payload["entries"]]
+        assert len(labels) == len(set(labels)), "duplicate trajectory labels"
+        assert "per-feature-linear-svr" in labels  # pre-batching baseline
+        assert "batched-ridge" in labels  # the batched rewrite
+
+    def test_features_per_s_did_not_regress(self, payload):
+        by_label = {e["label"]: e for e in payload["entries"]}
+        baseline = by_label["per-feature-linear-svr"]
+        batched = by_label["batched-ridge"]
+        assert batched["n_feature_tasks"] == baseline["n_feature_tasks"]
+        assert batched["features_per_s"] >= 10 * baseline["features_per_s"]
+
+    def test_emit_json_trajectory_appends_and_reruns_replace(self, tmp_path):
+        """emit_json with a label accumulates entries (never clobbers the
+        history) and re-running a label replaces its own entry only."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest", BENCH_DIR / "conftest.py"
+        )
+        conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(conftest)
+
+        conftest.emit_json(tmp_path, "BENCH_table2", {"wall_s": 9.0}, label="a")
+        conftest.emit_json(tmp_path, "BENCH_table2", {"wall_s": 5.0}, label="b")
+        conftest.emit_json(tmp_path, "BENCH_table2", {"wall_s": 4.0}, label="b")
+        doc = json.loads((tmp_path / "BENCH_table2.json").read_text(encoding="utf-8"))
+        assert doc["format"] == "repro-bench-table2-v2"
+        assert [e["label"] for e in doc["entries"]] == ["a", "b"]
+        assert doc["entries"][1]["wall_s"] == 4.0
+
+    def test_emit_json_migrates_legacy_v1_payload(self, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest2", BENCH_DIR / "conftest.py"
+        )
+        conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(conftest)
+
+        legacy = {"format": "repro-bench-table2-v1", "wall_s": 165.0}
+        (tmp_path / "BENCH_table2.json").write_text(
+            json.dumps(legacy), encoding="utf-8"
+        )
+        conftest.emit_json(tmp_path, "BENCH_table2", {"wall_s": 15.0}, label="new")
+        doc = json.loads((tmp_path / "BENCH_table2.json").read_text(encoding="utf-8"))
+        assert [e["label"] for e in doc["entries"]] == ["baseline", "new"]
+        assert doc["entries"][0]["wall_s"] == 165.0
