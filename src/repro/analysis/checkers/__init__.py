@@ -25,9 +25,10 @@ FRL016    hidden-copy              fancy indexing / concatenation in loops copie
 FRL017    dtype-widening           no silent float32→float64, no per-element scalar math
 FRL018    numerical-safety         no log/exp/div on inferred-possibly-zero values
 FRL019    loop-invariant-alloc     allocations / Gram products hoistable out of loops
+FRL020    span-attribution         literal span() names must resolve in SPAN_QUALNAMES
 ========  =======================  =====================================================
 
-FRL010–FRL019 are :class:`~repro.analysis.framework.ProjectChecker` rules:
+FRL010–FRL020 are :class:`~repro.analysis.framework.ProjectChecker` rules:
 they run on the whole-program index/call graph under
 :func:`~repro.analysis.framework.run_analysis` and are no-ops under the
 file-local :func:`~repro.analysis.framework.analyze_file`. FRL015–FRL019
@@ -39,6 +40,14 @@ See docs/invariants.md for rationale and suppression policy, and
 ``python -m repro.analysis --explain FRL0NN`` for per-rule cards.
 """
 
-from repro.analysis.checkers import contracts, flow, hygiene, numerics, perf, rng
+from repro.analysis.checkers import (
+    contracts,
+    flow,
+    hygiene,
+    numerics,
+    observability,
+    perf,
+    rng,
+)
 
-__all__ = ["rng", "numerics", "contracts", "hygiene", "flow", "perf"]
+__all__ = ["rng", "numerics", "contracts", "hygiene", "flow", "perf", "observability"]

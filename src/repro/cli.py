@@ -25,10 +25,12 @@ re-executing only the missing items (docs/scaling.md, "Fault tolerance").
 
 Observability: ``--trace run.jsonl`` records the run's full telemetry
 stream to a kill-tolerant JSONL trace, ``--progress`` paints a throttled
-one-line progress display on stderr, and ``python -m repro trace
-run.jsonl`` summarizes a recorded trace (slowest features, per-phase
-breakdown, retry/timeout/crash accounting, checkpoint reuse). See
-docs/observability.md.
+one-line progress display on stderr, and ``--openmetrics metrics.prom``
+keeps a scrapeable OpenMetrics snapshot current during the run. A
+recorded trace is analyzed with ``python -m repro trace run.jsonl``
+(summary), ``trace timeline run.jsonl`` (worker timeline, stragglers,
+critical path), ``trace diff A B`` (two-run comparison), and ``trace
+report run.jsonl`` (markdown run report). See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -218,23 +220,81 @@ def _cmd_fit(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _cmd_trace(args: argparse.Namespace) -> str:
-    """Summarize a recorded telemetry trace (docs/observability.md)."""
-    from repro.telemetry.trace import read_trace, render_trace_summary, summarize_trace
+def _read_checked(path: str):
+    from repro.telemetry.trace import read_trace
     from repro.utils.exceptions import ReproError
 
-    if not args.path:
-        raise ReproError(
-            "trace requires a trace file: python -m repro trace run.jsonl"
-        )
-    result = read_trace(args.path)
+    result = read_trace(path)
     if result.errors:
         detail = "; ".join(result.errors[:5])
         raise ReproError(
-            f"{args.path}: {len(result.errors)} undecodable mid-file line(s) "
+            f"{path}: {len(result.errors)} undecodable mid-file line(s) "
             f"({detail}) — the file is corrupt beyond a torn tail"
         )
-    return render_trace_summary(summarize_trace(result))
+    return result
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    """Trace analysis: summarize / timeline / diff / report.
+
+    ``trace FILE`` summarizes; ``trace timeline FILE`` reconstructs the
+    worker timeline; ``trace diff A B`` compares two traces; ``trace
+    report FILE`` renders the markdown run report (--output writes it).
+    See docs/observability.md ("fracscope v2").
+    """
+    from repro.utils.exceptions import ReproError
+
+    verb, extra = args.path, list(args.extra)
+    if verb == "diff":
+        if len(extra) != 2:
+            raise ReproError(
+                "trace diff requires two trace files: "
+                "python -m repro trace diff A.jsonl B.jsonl"
+            )
+        from repro.telemetry.diff import diff_traces, render_trace_diff
+
+        diff = diff_traces(
+            _read_checked(extra[0]),
+            _read_checked(extra[1]),
+            label_a=extra[0],
+            label_b=extra[1],
+        )
+        return render_trace_diff(diff)
+    if verb == "report":
+        if len(extra) != 1:
+            raise ReproError(
+                "trace report requires one trace file: "
+                "python -m repro trace report run.jsonl"
+            )
+        from repro.telemetry.report import render_run_report
+
+        text = render_run_report(_read_checked(extra[0]))
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+            return f"run report written to {args.output}"
+        return text
+    if verb == "timeline":
+        if len(extra) != 1:
+            raise ReproError(
+                "trace timeline requires one trace file: "
+                "python -m repro trace timeline run.jsonl"
+            )
+        from repro.telemetry.timeline import build_timeline, render_timeline
+
+        return render_timeline(build_timeline(_read_checked(extra[0])))
+    if not verb:
+        raise ReproError(
+            "trace requires a trace file: python -m repro trace run.jsonl"
+        )
+    if extra:
+        raise ReproError(
+            f"unknown trace arguments {extra}; expected one of: "
+            f"trace FILE | trace timeline FILE | trace diff A B | "
+            f"trace report FILE"
+        )
+    from repro.telemetry.trace import render_trace_summary, summarize_trace
+
+    return render_trace_summary(summarize_trace(_read_checked(verb)))
 
 
 _COMMANDS = {
@@ -260,7 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command", choices=sorted(_COMMANDS), help="artifact to regenerate")
     parser.add_argument("path", nargs="?", default="",
-                        help="trace file to summarize (trace command only)")
+                        help="trace file to summarize, or a trace sub-command "
+                             "(timeline | diff | report)")
+    parser.add_argument("extra", nargs="*", default=[],
+                        help="trace sub-command arguments (e.g. the two "
+                             "files for: trace diff A.jsonl B.jsonl)")
     from repro.experiments.settings import DEFAULT_BENCH_SCALE
 
     parser.add_argument("--scale", type=float, default=DEFAULT_BENCH_SCALE,
@@ -298,6 +362,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "trace file (inspect with: python -m repro trace PATH)")
     obs.add_argument("--progress", action="store_true",
                      help="paint a throttled one-line progress display on stderr")
+    obs.add_argument("--openmetrics", default="", metavar="PATH",
+                     help="keep an OpenMetrics text exposition snapshot of the "
+                          "run's metrics at PATH (atomically rewritten, "
+                          "scrape-safe; final state written on exit)")
 
     fit = parser.add_argument_group("fit command")
     fit.add_argument("--dataset", default="breast.basal",
@@ -319,9 +387,11 @@ def main(argv: "list[str] | None" = None) -> int:
 
         enable_console_logging()
     configured = None
-    if args.trace or args.progress:
+    if args.trace or args.progress or args.openmetrics:
         configured = telemetry_runtime.configure(
-            trace_path=args.trace or None, progress=args.progress
+            trace_path=args.trace or None,
+            progress=args.progress,
+            openmetrics_path=args.openmetrics or None,
         )
     try:
         print(_COMMANDS[args.command](args))

@@ -41,6 +41,7 @@ per-feature path.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -70,6 +71,7 @@ from repro.telemetry.events import (
     FoldTrained,
 )
 from repro.telemetry.runtime import get_bus
+from repro.telemetry.spans import span
 from repro.utils.exceptions import DataError
 from repro.utils.validation import check_2d
 
@@ -288,11 +290,15 @@ class FeatureBatch:
 
     ``indices`` are the member positions in the task list handed to
     :func:`plan_feature_batches`, so the orchestrator can place results
-    and re-emit per-feature telemetry without searching.
+    and re-emit per-feature telemetry without searching. ``group`` is a
+    short content digest of the plan-group key (the observed-mask and
+    input-id byte patterns), stamped onto the batch's ``fit.batch`` span
+    so a trace alone reveals how the planner grouped the feature space.
     """
 
     tasks: tuple[FeatureTask, ...]
     indices: tuple[int, ...]
+    group: str = ""
 
 
 def batch_task_key(batch: FeatureBatch) -> tuple:
@@ -334,13 +340,19 @@ def plan_feature_batches(
         )
         batchable.setdefault(key, []).append(pos)
     batches: list[FeatureBatch] = []
-    for positions in batchable.values():
+    for key, positions in batchable.items():
+        # Deterministic plan-group fingerprint: a content digest of the
+        # grouping key itself, so equal groups carry equal labels across
+        # runs, machines, and batch-size splits (telemetry join key only —
+        # never fed back into computation).
+        group = hashlib.sha256(key[0] + key[1]).hexdigest()[:12]
         for lo in range(0, len(positions), max_batch):
             chunk = positions[lo : lo + max_batch]
             batches.append(
                 FeatureBatch(
                     tasks=tuple(tasks[p] for p in chunk),
                     indices=tuple(chunk),
+                    group=group,
                 )
             )
     return batches, passthrough
@@ -360,7 +372,23 @@ def run_feature_batch(batch: FeatureBatch) -> "list[tuple[FeatureModel, TaskCost
     Members share their rows by construction (:func:`plan_feature_batches`
     groups by the observed-row mask), so the under-``min_observed`` check
     decides once for the whole group.
+
+    Each execution is bracketed by a ``fit.batch`` span whose attrs carry
+    the batch size and the planner's group fingerprint — the measurement
+    substrate for pricing per-group amortization from a trace alone
+    (observation only; the batch wave's quiet task lifecycle and the
+    byte-equivalence proof are unaffected).
     """
+    with span(
+        "fit.batch",
+        attrs={"batch_size": len(batch.tasks), "group": batch.group},
+    ):
+        return _execute_feature_batch(batch)
+
+
+def _execute_feature_batch(
+    batch: FeatureBatch,
+) -> "list[tuple[FeatureModel, TaskCost] | None]":
     shared: SharedTrainState = get_shared()
     cfg = shared.config
     start = cpu_seconds()
@@ -642,18 +670,20 @@ def _run_batched(tasks, shared, checkpoint, failures):
     return results
 
 
-def score_contributions(
+def gather_surprisals(
     models: list[FeatureModel],
     x_test_imputed: np.ndarray,
     x_test_targets: np.ndarray,
-) -> np.ndarray:
-    """NS contribution matrix ``(n_test, n_models)`` for fitted models.
+    out: np.ndarray,
+) -> None:
+    """The per-model masked scoring gather, written into ``out`` in place.
 
-    Missing test targets contribute exactly zero (the NS definition's
-    "otherwise" branch).
+    This loop is the optimization ledger's #1 measured finding
+    (docs/optimization-ledger.md): one masked row copy per feature model.
+    It lives in its own function so the ``score.gather`` span prices
+    exactly this work — the batching rewrite (ROADMAP Open item 1,
+    scoring half) starts here.
     """
-    n = x_test_imputed.shape[0]
-    out = np.zeros((n, len(models)))
     for t, fm in enumerate(models):
         truths = x_test_targets[:, fm.feature_id]
         observed = ~np.isnan(truths)
@@ -663,4 +693,24 @@ def score_contributions(
         # batched together with the fit loop (ROADMAP Open item 1).
         preds = fm.predictor.predict(x_test_imputed[np.ix_(observed, fm.input_ids)])  # fraclint: disable=FRL016
         out[observed, t] = fm.error_model.surprisal(preds, truths[observed]) - fm.entropy  # fraclint: disable=FRL016 -- masked truth gather, batched with scoring (Open item 1)
+
+
+def score_contributions(
+    models: list[FeatureModel],
+    x_test_imputed: np.ndarray,
+    x_test_targets: np.ndarray,
+) -> np.ndarray:
+    """NS contribution matrix ``(n_test, n_models)`` for fitted models.
+
+    Missing test targets contribute exactly zero (the NS definition's
+    "otherwise" branch). The gather loop runs under a ``score.gather``
+    span (nested inside the caller's ``score.contributions``) so traces
+    separate the hot masked-copy loop from the preprocessing around it.
+    """
+    n = x_test_imputed.shape[0]
+    out = np.zeros((n, len(models)))
+    with span(
+        "score.gather", attrs={"n_models": len(models), "n_samples": int(n)}
+    ):
+        gather_surprisals(models, x_test_imputed, x_test_targets, out)
     return out

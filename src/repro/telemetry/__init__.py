@@ -16,7 +16,15 @@ its results:
 - :mod:`~repro.telemetry.metrics` — deterministic counters / gauges /
   fixed-bucket histograms;
 - :mod:`~repro.telemetry.trace` — the read/summarize/render toolchain
-  behind ``python -m repro trace``.
+  behind ``python -m repro trace``;
+- :mod:`~repro.telemetry.timeline` — per-slot timeline reconstruction,
+  utilization, stragglers, parallelism profile, critical path;
+- :mod:`~repro.telemetry.diff` — two-trace comparison behind
+  ``python -m repro trace diff A B``;
+- :mod:`~repro.telemetry.report` — the markdown run report behind
+  ``python -m repro trace report``;
+- :mod:`~repro.telemetry.openmetrics` — stdlib OpenMetrics text
+  exposition (``--openmetrics PATH``).
 
 Telemetry is **off by default and zero-overhead when off**: the ambient
 bus (:func:`get_bus`) is ``None`` and every instrumentation site is a
@@ -26,6 +34,14 @@ integration suite; see docs/observability.md).
 """
 
 from repro.telemetry.bus import EventBus, TraceRecord
+from repro.telemetry.diff import (
+    RATIO_THRESHOLD,
+    PopulationDelta,
+    SpanStats,
+    TraceDiff,
+    diff_traces,
+    render_trace_diff,
+)
 from repro.telemetry.events import (
     EVENT_TYPES,
     TIMING_FIELDS,
@@ -51,6 +67,12 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.openmetrics import (
+    OpenMetricsSink,
+    metric_name,
+    render_openmetrics,
+)
+from repro.telemetry.report import render_run_report
 from repro.telemetry.runtime import (
     configure,
     emit,
@@ -68,10 +90,22 @@ from repro.telemetry.sinks import (
     TelemetrySinkError,
 )
 from repro.telemetry.spans import SpanHandle, span
+from repro.telemetry.timeline import (
+    STRAGGLER_FACTOR,
+    PhaseSegment,
+    SlotLane,
+    TaskInterval,
+    Timeline,
+    build_timeline,
+    render_timeline,
+)
 from repro.telemetry.trace import (
+    PERCENTILE_POINTS,
+    SPAN_QUALNAMES,
     TraceError,
     TraceReadResult,
     TraceSummary,
+    nearest_rank_percentile,
     per_feature_counts,
     read_trace,
     render_trace_summary,
@@ -123,4 +157,24 @@ __all__ = [
     "summarize_trace",
     "render_trace_summary",
     "per_feature_counts",
+    "nearest_rank_percentile",
+    "PERCENTILE_POINTS",
+    "SPAN_QUALNAMES",
+    "Timeline",
+    "TaskInterval",
+    "SlotLane",
+    "PhaseSegment",
+    "STRAGGLER_FACTOR",
+    "build_timeline",
+    "render_timeline",
+    "TraceDiff",
+    "SpanStats",
+    "PopulationDelta",
+    "RATIO_THRESHOLD",
+    "diff_traces",
+    "render_trace_diff",
+    "render_run_report",
+    "OpenMetricsSink",
+    "render_openmetrics",
+    "metric_name",
 ]

@@ -268,11 +268,17 @@ class ScoreComputed(TelemetryEvent):
 @_register
 @dataclass(frozen=True)
 class SpanStarted(TelemetryEvent):
-    """A named phase opened (see :mod:`repro.telemetry.spans`)."""
+    """A named phase opened (see :mod:`repro.telemetry.spans`).
+
+    ``attrs`` carries deterministic phase parameters (a batch's size and
+    plan-group key, a projection's dimension) — facts about the *work*,
+    never timings, so they participate in determinism signatures.
+    """
 
     name: ClassVar[str] = "SpanStarted"
     span: str = ""
     depth: int = 0
+    attrs: "dict | None" = None
 
 
 @_register
@@ -286,3 +292,4 @@ class SpanFinished(TelemetryEvent):
     wall_s: float = 0.0
     cpu_s: float = 0.0
     rss_peak_bytes: int = 0
+    attrs: "dict | None" = None

@@ -1,0 +1,146 @@
+"""OpenMetrics exposition: scrapeable metrics from a running fit.
+
+Long feature-scale fits (and the future serving layer, ROADMAP Open
+item 2) need standard observability plumbing: a Prometheus-compatible
+scrape target, not a bespoke JSON dump. This module renders a
+:class:`~repro.telemetry.metrics.MetricsRegistry` in the OpenMetrics
+text exposition format — stdlib only, no client library — and provides
+:class:`OpenMetricsSink`, a bus sink that keeps a snapshot *file*
+up to date while the run is live:
+
+- every record updates the sink's own registry (via the same central
+  ``record_event`` mapping the bus uses, so the exposition agrees with
+  the trace by construction);
+- the file is rewritten at most every ``min_interval_s`` seconds of
+  wall time (observed through the profiling layer — FRL007's clock
+  containment), atomically via write-to-temp-then-replace so a scraper
+  (``node_exporter``'s textfile collector, a sidecar, ``cat``) never
+  reads a half-written exposition;
+- ``close()`` writes through unconditionally, so the final state of a
+  finished run is always on disk.
+
+Attach with ``repro ... --openmetrics PATH`` or
+``telemetry.configure(openmetrics_path=...)``. Like every sink, this is
+observation-only: it changes no computed result (the integration suite
+pins byte-identical NS scores with the sink attached vs telemetry off).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.parallel import profiling
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import Sink, TelemetrySinkError
+
+#: Default minimum wall-clock seconds between snapshot rewrites.
+DEFAULT_SNAPSHOT_INTERVAL_S = 5.0
+
+
+def metric_name(name: str) -> str:
+    """Dotted registry name -> OpenMetrics metric name.
+
+    ``executor.tasks_ok`` -> ``repro_executor_tasks_ok``. Every character
+    outside ``[a-zA-Z0-9_]`` becomes ``_`` (span names may carry dots and
+    brackets); the ``repro_`` prefix namespaces the exposition.
+    """
+    safe = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{safe}"
+
+
+def _fmt(value: float) -> str:
+    """Shortest exact decimal for a float; integers stay integral."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """Render a registry as an OpenMetrics text exposition.
+
+    Counters get the ``_total`` sample suffix, gauges expose their value
+    plus a ``<name>_max`` companion (the registry tracks running peaks),
+    histograms expose cumulative ``_bucket{le="..."}`` series with the
+    ``+Inf`` overflow bucket, ``_sum``, and ``_count``. Families are
+    emitted in sorted-name order and the exposition ends with ``# EOF``
+    — same determinism contract as every fracscope rendering.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+
+    for name in sorted(snap["counters"]):
+        om = metric_name(name)
+        lines.append(f"# TYPE {om} counter")
+        lines.append(f"{om}_total {_fmt(snap['counters'][name])}")
+
+    for name in sorted(snap["gauges"]):
+        om = metric_name(name)
+        gauge = snap["gauges"][name]
+        lines.append(f"# TYPE {om} gauge")
+        lines.append(f"{om} {_fmt(gauge['value'])}")
+        lines.append(f"# TYPE {om}_max gauge")
+        lines.append(f"{om}_max {_fmt(gauge['max'])}")
+
+    for name in sorted(snap["histograms"]):
+        om = metric_name(name)
+        hist = snap["histograms"][name]
+        lines.append(f"# TYPE {om} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{om}_bucket{{le="{_fmt(edge)}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{om}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{om}_sum {_fmt(hist['total'])}")
+        lines.append(f"{om}_count {hist['n']}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class OpenMetricsSink(Sink):
+    """Keeps an OpenMetrics snapshot file current while a run is live."""
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        min_interval_s: float = DEFAULT_SNAPSHOT_INTERVAL_S,
+    ) -> None:
+        self.path = Path(path)
+        self.min_interval_s = float(min_interval_s)
+        self.registry = MetricsRegistry()
+        self.n_snapshots = 0
+        self._last_write = float("-inf")
+        self._closed = False
+        # Fail fast on an unwritable target, and give scrapers an empty
+        # (but valid) exposition from the first moment of the run.
+        self._write_snapshot()
+
+    def handle(self, record) -> None:
+        if self._closed:
+            raise TelemetrySinkError(f"openmetrics sink {self.path} is closed")
+        self.registry.record_event(record.event)
+        now = profiling.wall_seconds()
+        if now - self._last_write >= self.min_interval_s:
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        text = render_openmetrics(self.registry)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise TelemetrySinkError(
+                f"cannot write OpenMetrics snapshot to {self.path}: {exc}"
+            ) from exc
+        self._last_write = profiling.wall_seconds()
+        self.n_snapshots += 1
+
+    def close(self) -> None:
+        """Final write-through: the terminal scrape is always on disk."""
+        if not self._closed:
+            self._write_snapshot()
+            self._closed = True

@@ -1,0 +1,217 @@
+"""Markdown run reports: one trace file -> one reviewable document.
+
+``python -m repro trace report run.jsonl`` folds everything fracscope
+can derive from a single trace — the run digests, per-phase totals with
+nearest-rank percentiles, the reconstructed worker timeline, the
+critical path, fault and checkpoint accounting — into GitHub-flavored
+markdown. CI uploads it as an artifact from the tier-1 trace, so every
+PR carries a machine-written account of what its test run actually did.
+
+Same determinism contract as the rest of the analysis layer: the report
+is a pure function of the record list, byte-identical across renders.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.timeline import STRAGGLER_FACTOR, Timeline, build_timeline
+from repro.telemetry.trace import (
+    FAILURE_KINDS,
+    TraceReadResult,
+    TraceSummary,
+    read_trace,
+    summarize_trace,
+)
+
+
+def _phase_table(summary: TraceSummary) -> "list[str]":
+    lines = [
+        "| phase | wall (s) | cpu (s) | count | wall p50/p95/p99 | cpu p50/p95/p99 |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, wall, cpu, count in summary.phases:
+        pct = summary.phase_percentiles.get(name)
+        wp = cp = "—"
+        if pct is not None:
+            wp = "/".join(f"{v:.3f}" for v in pct["wall"])
+            cp = "/".join(f"{v:.3f}" for v in pct["cpu"])
+        lines.append(f"| `{name}` | {wall:.3f} | {cpu:.3f} | {count} | {wp} | {cp} |")
+    return lines
+
+
+def _timeline_section(timeline: Timeline) -> "list[str]":
+    lines: list[str] = []
+    lines.append(
+        f"{len(timeline.intervals)} task interval(s) packed onto"
+        f" {timeline.n_slots} virtual slot(s);"
+        f" makespan {timeline.makespan_s:.3f}s,"
+        f" overall utilization {100.0 * timeline.utilization:.1f}%."
+    )
+    if timeline.n_instant:
+        lines.append(
+            f" {timeline.n_instant} task(s) were replayed from checkpoint"
+            f" (finish record only)."
+        )
+    if timeline.lanes:
+        lines.append("")
+        lines.append("| slot | tasks | busy (s) | share of makespan |")
+        lines.append("|---|---|---|---|")
+        makespan = timeline.makespan_s
+        for lane in timeline.lanes:
+            share = 100.0 * lane.busy_s / makespan if makespan > 0.0 else 0.0
+            lines.append(
+                f"| {lane.slot} | {lane.n_tasks} | {lane.busy_s:.3f} | {share:.1f}% |"
+            )
+    if timeline.parallelism:
+        lines.append("")
+        profile = ", ".join(
+            f"{level} in flight for {seconds:.3f}s"
+            for level, seconds in timeline.parallelism
+        )
+        lines.append(f"Parallelism profile: {profile}.")
+    waits = [iv.queue_wait_s for iv in timeline.intervals if iv.queue_wait_s is not None]
+    if waits:
+        executes = [
+            iv.duration_s for iv in timeline.intervals if iv.duration_s is not None
+        ]
+        lines.append("")
+        lines.append(
+            f"Queue-wait vs execute over {len(waits)} scheduler-timed task(s):"
+            f" {sum(executes):.3f}s executing, {sum(waits):.3f}s queued."
+        )
+    if timeline.median_duration_s is not None:
+        lines.append("")
+        if timeline.stragglers:
+            worst = timeline.stragglers[0]
+            lines.append(
+                f"{len(timeline.stragglers)} straggler(s) at >="
+                f" {STRAGGLER_FACTOR:.1f}x the median execute time"
+                f" ({timeline.median_duration_s:.3f}s); worst:"
+                f" key={worst.key} at {worst.duration_s:.3f}s."
+            )
+        else:
+            lines.append(
+                f"No stragglers (no task reached {STRAGGLER_FACTOR:.1f}x the"
+                f" median execute time of {timeline.median_duration_s:.3f}s)."
+            )
+    return lines
+
+
+def _critical_path_section(timeline: Timeline) -> "list[str]":
+    lines = [
+        "| phase | wall (s) | critical (s) | parallel tasks |",
+        "|---|---|---|---|",
+    ]
+    for seg in timeline.segments:
+        lines.append(
+            f"| `{seg.name}` | {seg.wall_s:.3f} | {seg.critical_s:.3f} |"
+            f" {seg.n_tasks or '—'} |"
+        )
+    lines.append("")
+    lines.append(
+        f"Critical path {timeline.critical_path_s:.3f}s vs observed wall"
+        f" {timeline.observed_wall_s:.3f}s"
+    )
+    if timeline.critical_path_s > 0.0:
+        headroom = timeline.observed_wall_s / timeline.critical_path_s
+        lines[-1] += (
+            f" — max theoretical speedup at infinite workers: {headroom:.2f}x."
+        )
+    else:
+        lines[-1] += "."
+    return lines
+
+
+def render_run_report(
+    source: "TraceReadResult | list | str", *, title: str = "run report"
+) -> str:
+    """Render one trace as a markdown run report."""
+    if isinstance(source, TraceReadResult):
+        result = source
+    elif isinstance(source, list):
+        result = TraceReadResult(path="<records>", records=source)
+    else:
+        result = read_trace(source)
+    summary = summarize_trace(result)
+    timeline = build_timeline(result)
+
+    lines: list[str] = []
+    lines.append(f"# fracscope {title}")
+    lines.append("")
+    lines.append(f"Trace: `{result.path}` — {summary.n_events} event(s)")
+    if summary.n_torn or summary.n_errors:
+        lines[-1] += (
+            f" ({summary.n_torn} torn line(s) dropped,"
+            f" {summary.n_errors} undecodable)"
+        )
+    lines[-1] += "."
+
+    if summary.runs:
+        lines.append("")
+        lines.append("## Runs")
+        lines.append("")
+        lines.append("| kind | status | models | skipped | failed | tasks | geometry |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for run in summary.runs:
+            geometry = "—"
+            if run.get("mode"):
+                geometry = f"{run['mode']} x{run.get('n_workers', 1)}"
+            lines.append(
+                f"| {run['kind'] or '?'} | {run['status']}"
+                f" | {run.get('n_models', 0)} | {run.get('n_skipped', 0)}"
+                f" | {run.get('n_failed', 0)} | {run.get('n_tasks', 0)}"
+                f" | {geometry} |"
+            )
+
+    if summary.phases:
+        lines.append("")
+        lines.append("## Phases")
+        lines.append("")
+        lines.extend(_phase_table(summary))
+
+    if timeline.intervals or timeline.n_instant:
+        lines.append("")
+        lines.append("## Worker timeline")
+        lines.append("")
+        lines.extend(_timeline_section(timeline))
+
+    if timeline.segments:
+        lines.append("")
+        lines.append("## Critical path")
+        lines.append("")
+        lines.extend(_critical_path_section(timeline))
+
+    lines.append("")
+    lines.append("## Faults")
+    lines.append("")
+    lines.append(
+        f"{summary.n_retries} retry(ies) scheduled, {summary.n_timeouts}"
+        f" timeout(s), {summary.n_crashes} worker crash(es)."
+    )
+    skipped = [
+        f"{kind}: {summary.skipped_by_kind[kind]}"
+        for kind in FAILURE_KINDS
+        if summary.skipped_by_kind.get(kind)
+    ]
+    if skipped:
+        lines.append("")
+        lines.append("Skipped by kind — " + ", ".join(skipped) + ".")
+    lines.append("")
+    lines.append(
+        "Event/report accounting: "
+        + ("consistent." if summary.faults_consistent else "**MISMATCH**.")
+    )
+
+    if summary.checkpoint_hits or summary.checkpoint_misses:
+        lines.append("")
+        lines.append("## Checkpoint")
+        lines.append("")
+        lines.append(
+            f"{summary.checkpoint_hits} hit(s), {summary.checkpoint_misses}"
+            f" miss(es) — {100.0 * summary.checkpoint_reuse:.1f}% reused."
+        )
+
+    if summary.n_scores:
+        lines.append("")
+        lines.append(f"Scoring: {summary.n_scores} batch(es) scored.")
+    lines.append("")
+    return "\n".join(lines)

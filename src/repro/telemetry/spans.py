@@ -41,14 +41,16 @@ class SpanHandle:
 
 
 @contextmanager
-def span(name: str, *, bus=None):
+def span(name: str, *, bus=None, attrs: "dict | None" = None):
     """Measure one named phase and emit its start/finish events.
 
     ``bus`` defaults to the ambient bus; with no bus installed the
     context is a pure pass-through (zero overhead when off). Yields a
     :class:`SpanHandle` whose timings are filled in at exit, so callers
     that also want the numbers locally (e.g. the deprecated
-    ``timed_section`` shim) need not re-measure.
+    ``timed_section`` shim) need not re-measure. ``attrs`` are
+    deterministic phase parameters stamped onto both paired events
+    (batch size, plan-group key — facts about the work, never timings).
     """
     bus = bus if bus is not None else get_bus()
     if bus is None:
@@ -56,7 +58,7 @@ def span(name: str, *, bus=None):
         return
     depth = _depth()
     handle = SpanHandle(name=name, depth=depth)
-    bus.emit(SpanStarted(span=name, depth=depth))
+    bus.emit(SpanStarted(span=name, depth=depth, attrs=attrs))
     _STATE.depth = depth + 1
     w0 = profiling.wall_seconds()
     c0 = profiling.cpu_seconds()
@@ -73,5 +75,6 @@ def span(name: str, *, bus=None):
                 wall_s=handle.wall_s,
                 cpu_s=handle.cpu_s,
                 rss_peak_bytes=profiling.peak_rss_bytes(),
+                attrs=attrs,
             )
         )

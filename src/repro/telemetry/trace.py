@@ -32,6 +32,25 @@ class TraceError(ReproError):
     """Raised when a file is not a readable trace."""
 
 
+def nearest_rank_percentile(values: "list[float]", p: float) -> float:
+    """Nearest-rank percentile: the ceil(p/100 * n)-th smallest value.
+
+    No interpolation — the result is always an observed member of
+    ``values``, so two summaries of the same trace are byte-identical
+    however the platform rounds (the determinism contract of every
+    fracscope analysis). ``values`` must be non-empty.
+    """
+    if not values:
+        raise ValueError("percentile of an empty population")
+    ordered = sorted(values)
+    rank = max(1, -(-int(p) * len(ordered) // 100))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+#: Percentile points reported for every span population.
+PERCENTILE_POINTS = (50, 95, 99)
+
+
 @dataclass
 class TraceReadResult:
     """Outcome of replaying one trace file."""
@@ -113,6 +132,9 @@ class TraceSummary:
     n_errors: int = 0
     runs: list = field(default_factory=list)  # RunStarted/Finished digests
     phases: list = field(default_factory=list)  # (span, wall_s, cpu_s, count)
+    #: span -> {"wall": [p50, p95, p99], "cpu": [...]}; nearest-rank over
+    #: that span's population, no interpolation (deterministic).
+    phase_percentiles: dict = field(default_factory=dict)
     slowest: list = field(default_factory=list)  # (key, index, duration, attempts)
     n_retries: int = 0
     n_timeouts: int = 0
@@ -149,6 +171,7 @@ def summarize_trace(result: "TraceReadResult | list") -> TraceSummary:
     summary.n_events = len(records)
 
     phases: dict[str, list] = {}
+    samples: dict[str, list] = {}  # span -> [(wall_s, cpu_s), ...]
     open_runs: list[dict] = []
     tasks: list[tuple] = []
     for rec in records:
@@ -184,10 +207,14 @@ def summarize_trace(result: "TraceReadResult | list") -> TraceSummary:
                     kind = failure.get("kind", "exception")
                     summary.report_by_kind[kind] = summary.report_by_kind.get(kind, 0) + 1
         elif name == "SpanFinished":
-            agg = phases.setdefault(rec.get("span", "?"), [0.0, 0.0, 0])
+            span_name = rec.get("span", "?")
+            agg = phases.setdefault(span_name, [0.0, 0.0, 0])
             agg[0] += rec.get("wall_s", 0.0)
             agg[1] += rec.get("cpu_s", 0.0)
             agg[2] += 1
+            samples.setdefault(span_name, []).append(
+                (rec.get("wall_s", 0.0), rec.get("cpu_s", 0.0))
+            )
         elif name == "FeatureTaskFinished":
             status = rec.get("status", "ok")
             summary.task_status_counts[status] = (
@@ -218,12 +245,23 @@ def summarize_trace(result: "TraceReadResult | list") -> TraceSummary:
             summary.n_scores += 1
 
     summary.runs = open_runs
-    # Only spans at depth 0... no: aggregate all spans by name; nesting is
-    # visible through the depth field in the raw trace if needed.
     summary.phases = sorted(
         ((name, w, c, n) for name, (w, c, n) in phases.items()),
         key=lambda row: (-row[1], row[0]),
     )
+    summary.phase_percentiles = {
+        name: {
+            "wall": [
+                nearest_rank_percentile([w for w, _ in pop], p)
+                for p in PERCENTILE_POINTS
+            ],
+            "cpu": [
+                nearest_rank_percentile([c for _, c in pop], p)
+                for p in PERCENTILE_POINTS
+            ],
+        }
+        for name, pop in samples.items()
+    }
     timed = [t for t in tasks if t[0] is not None]
     summary.slowest = sorted(timed, key=lambda t: (-t[0], t[2]))[:10]
     return summary
@@ -241,7 +279,14 @@ SPAN_QUALNAMES = {
     # findings in run_feature_task AND run_feature_batch both price to it
     # (the ledger walks call-graph reachability from this function).
     "fit.train": "repro.core.engine.run_feature_tasks",
+    # One batch-wave work item: carries batch_size / group attrs so the
+    # next perf PR can price per-group amortization from trace data.
+    "fit.batch": "repro.core.engine.run_feature_batch",
     "score.contributions": "repro.core.engine.score_contributions",
+    # The per-model masked gather inside scoring — the ledger's #1
+    # measured finding (docs/optimization-ledger.md) now carries its own
+    # span, nested under score.contributions.
+    "score.gather": "repro.core.engine.gather_surprisals",
     "jl.project": "repro.core.preprojection.JLFRaC._project",
     "ensemble.member": "repro.core.ensemble.FRaCEnsemble.fit",
 }
@@ -328,15 +373,19 @@ def render_trace_summary(summary: TraceSummary) -> str:
 
     if summary.phases:
         lines.append("")
-        lines.append("phases (by total wall time)")
+        lines.append("phases (by total wall time; p50/p95/p99 nearest-rank)")
         width = max(len(name) for name, *_ in summary.phases)
         total_w = total_c = 0.0
         for name, wall, cpu, count in summary.phases:
             total_w += wall
             total_c += cpu
-            lines.append(
-                f"  {name.ljust(width)}  wall={wall:.3f}s  cpu={cpu:.3f}s  x{count}"
-            )
+            row = f"  {name.ljust(width)}  wall={wall:.3f}s  cpu={cpu:.3f}s  x{count}"
+            pct = summary.phase_percentiles.get(name)
+            if pct is not None:
+                wp = "/".join(f"{v:.3f}" for v in pct["wall"])
+                cp = "/".join(f"{v:.3f}" for v in pct["cpu"])
+                row += f"  wall-p50/p95/p99={wp}  cpu-p50/p95/p99={cp}"
+            lines.append(row)
         lines.append(f"  {'total'.ljust(width)}  wall={total_w:.3f}s  cpu={total_c:.3f}s")
 
     if summary.task_status_counts:

@@ -1,0 +1,17 @@
+"""FRL020 fixture: every checkable span name resolves in SPAN_QUALNAMES.
+
+The dynamic call at the end must be skipped, not flagged: a variable
+name is the runtime importability test's job, not the static rule's.
+"""
+
+from repro.telemetry.spans import span
+
+
+def train(members, label):
+    with span("fit.train"):  # mapped literal
+        pass
+    for i, member in enumerate(members):
+        with span(f"ensemble.member[{i}]"):  # mapped parametrized base
+            member.fit()
+    with span(label):  # dynamic: out of static scope
+        pass

@@ -163,3 +163,46 @@ class TestProgressSink:
             *[FeatureTaskFinished(index=i) for i in range(50)],  # all throttled
         )
         assert stream.getvalue().count("\r") == 1
+
+
+class TestProgressSinkThrottleBoundaries:
+    """ISSUE 8 satellite: the throttle comparison is strict-less-than,
+    so a repaint at exactly ``min_interval_s`` elapsed is allowed."""
+
+    def _sink_on_fake_clock(self, monkeypatch, interval):
+        from repro.parallel import profiling
+
+        clock = {"now": 0.0}
+        monkeypatch.setattr(profiling, "wall_seconds", lambda: clock["now"])
+        stream = io.StringIO()
+        sink = ProgressSink(stream, min_interval_s=interval)
+        bus = EventBus([sink])
+        bus.emit(RunStarted(kind="run", n_tasks=3))  # forced paint at t=0
+        return bus, stream, clock
+
+    def test_repaint_at_exactly_the_interval_is_allowed(self, monkeypatch):
+        bus, stream, clock = self._sink_on_fake_clock(monkeypatch, 10.0)
+        clock["now"] = 10.0  # elapsed == min_interval_s: not < 10.0
+        bus.emit(FeatureTaskFinished(index=0))
+        assert stream.getvalue().count("\r") == 2
+
+    def test_repaint_just_under_the_interval_is_blocked(self, monkeypatch):
+        bus, stream, clock = self._sink_on_fake_clock(monkeypatch, 10.0)
+        clock["now"] = 9.999
+        bus.emit(FeatureTaskFinished(index=0))
+        assert stream.getvalue().count("\r") == 1
+
+    def test_run_boundaries_force_paints_through_the_throttle(self, monkeypatch):
+        bus, stream, clock = self._sink_on_fake_clock(monkeypatch, 10.0)
+        clock["now"] = 0.001  # well inside the throttle window
+        bus.emit(RunFinished(kind="run", status="ok"))
+        assert stream.getvalue().count("\r") == 2
+        assert stream.getvalue().endswith("\n")
+
+    def test_blocked_paint_does_not_reset_the_throttle_window(self, monkeypatch):
+        bus, stream, clock = self._sink_on_fake_clock(monkeypatch, 10.0)
+        clock["now"] = 6.0
+        bus.emit(FeatureTaskFinished(index=0))  # blocked
+        clock["now"] = 10.0  # 10s since the *last paint*, not since the block
+        bus.emit(FeatureTaskFinished(index=1))
+        assert stream.getvalue().count("\r") == 2

@@ -1,0 +1,134 @@
+"""Trace diff: population matching, thresholds, drift, and the Table II pin."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.diff import (
+    RATIO_THRESHOLD,
+    diff_traces,
+    log_ratio,
+    render_trace_diff,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+BATCHED_TRACE = ROOT / "benchmarks" / "results" / "BENCH_table2_trace.jsonl"
+PER_FEATURE_TRACE = (
+    ROOT / "benchmarks" / "results" / "BENCH_table2_trace_per_feature.jsonl"
+)
+
+
+def span_done(name, wall, *, depth=0, cpu=None, rss=0):
+    return {
+        "seq": 0,
+        "t": 0.0,
+        "event": "SpanFinished",
+        "span": name,
+        "depth": depth,
+        "wall_s": wall,
+        "cpu_s": wall if cpu is None else cpu,
+        "rss_peak_bytes": rss,
+    }
+
+
+class TestPopulations:
+    def test_parametrized_spans_fold_onto_their_base_name(self):
+        a = [span_done("ensemble.member[0]", 1.0), span_done("ensemble.member[1]", 2.0)]
+        b = [span_done("ensemble.member[0]", 3.0)]
+        diff = diff_traces(a, b)
+        (pop,) = diff.populations
+        assert pop.name == "ensemble.member"
+        assert pop.qualname == "repro.core.ensemble.FRaCEnsemble.fit"
+        assert pop.a.count == 2 and pop.a.wall_s == 3.0
+        assert pop.b.count == 1 and pop.b.wall_s == 3.0
+
+    def test_rss_aggregates_as_population_max(self):
+        a = [span_done("fit.train", 1.0, rss=100), span_done("fit.train", 1.0, rss=700)]
+        diff = diff_traces(a, [])
+        assert diff.populations[0].a.rss_peak_bytes == 700
+
+    def test_verdicts_follow_the_deterministic_band(self):
+        base = [span_done("fit.train", 10.0)]
+        assert diff_traces(base, [span_done("fit.train", 10.5)]).populations[0].verdict == "unchanged"
+        assert diff_traces(base, [span_done("fit.train", 12.0)]).populations[0].verdict == "regressed"
+        assert diff_traces(base, [span_done("fit.train", 8.0)]).populations[0].verdict == "improved"
+        # Exactly on the band edge stays unchanged (strict inequality).
+        exactly = [span_done("fit.train", 10.0 * RATIO_THRESHOLD)]
+        assert diff_traces(base, exactly).populations[0].verdict == "unchanged"
+
+    def test_unmatched_populations_are_only_sided(self):
+        diff = diff_traces([span_done("fit.old", 1.0)], [span_done("fit.new", 1.0)])
+        verdicts = {p.name: p.verdict for p in diff.populations}
+        assert verdicts == {"fit.new": "only-b", "fit.old": "only-a"}
+
+
+class TestHeadline:
+    def test_speedup_from_top_level_spans_only(self):
+        a = [span_done("fit.train", 20.0), span_done("score.gather", 99.0, depth=1)]
+        b = [span_done("fit.train", 2.0)]
+        diff = diff_traces(a, b)
+        assert diff.top_wall_a == 20.0  # nested span excluded
+        assert diff.top_wall_b == 2.0
+        assert diff.speedup == pytest.approx(10.0)
+
+    def test_degenerate_walls_yield_no_speedup(self):
+        assert diff_traces([], []).speedup is None
+
+
+class TestEventDrift:
+    def test_equal_multisets_report_consistent(self):
+        records = [span_done("fit.train", 1.0)]
+        diff = diff_traces(records, list(records))
+        assert not diff.events_drifted
+        assert "consistent" in render_trace_diff(diff)
+
+    def test_count_drift_is_reported_per_event_name(self):
+        a = [span_done("fit.train", 1.0)]
+        b = [span_done("fit.train", 1.0), span_done("fit.train", 1.0)]
+        diff = diff_traces(a, b)
+        assert diff.event_drift == [("SpanFinished", 1, 2)]
+        assert "different work" in render_trace_diff(diff)
+
+
+class TestLogRatio:
+    def test_symmetric_around_zero(self):
+        assert log_ratio(1.0, 2.0) == pytest.approx(-log_ratio(2.0, 1.0))
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            log_ratio(0.0, 1.0)
+
+
+class TestCommittedTableIIPin:
+    """The ISSUE 8 acceptance pin: the >=10x Table II improvement must be
+    readable from the two committed reference traces alone."""
+
+    @pytest.fixture(scope="class")
+    def diff(self):
+        assert BATCHED_TRACE.exists() and PER_FEATURE_TRACE.exists()
+        return diff_traces(
+            str(PER_FEATURE_TRACE),
+            str(BATCHED_TRACE),
+            label_a="per-feature-linear-svr",
+            label_b="batched-ridge",
+        )
+
+    def test_wall_clock_improvement_is_at_least_10x(self, diff):
+        assert diff.speedup is not None
+        assert diff.speedup >= 10.0
+
+    def test_training_phase_improved_and_render_says_faster(self, diff):
+        by_name = {p.name: p for p in diff.populations}
+        assert by_name["fit.train"].verdict == "improved"
+        text = render_trace_diff(diff)
+        assert "faster" in text
+        assert "per-feature-linear-svr" in text and "batched-ridge" in text
+
+    def test_diff_is_deterministic(self, diff):
+        again = diff_traces(
+            str(PER_FEATURE_TRACE),
+            str(BATCHED_TRACE),
+            label_a="per-feature-linear-svr",
+            label_b="batched-ridge",
+        )
+        assert render_trace_diff(again) == render_trace_diff(diff)

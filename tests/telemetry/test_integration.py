@@ -75,6 +75,24 @@ class TestZeroOverheadOff:
         assert baseline.tobytes() == traced.tobytes()
         assert trace.exists()
 
+    def test_scores_byte_identical_with_openmetrics_sink(
+        self, no_ambient_bus, tiny_rep, tmp_path
+    ):
+        """ISSUE 8 acceptance: OpenMetrics is observation-only."""
+        _, baseline = _fit_scores(tiny_rep)
+
+        metrics = tmp_path / "metrics.prom"
+        telemetry_runtime.configure(openmetrics_path=str(metrics))
+        try:
+            _, observed = _fit_scores(tiny_rep)
+        finally:
+            telemetry_runtime.shutdown()
+
+        assert baseline.tobytes() == observed.tobytes()
+        text = metrics.read_text(encoding="utf-8")
+        assert "repro_runs_finished_ok_total" in text
+        assert text.endswith("# EOF\n")
+
 
 class TestReplayDeterminism:
     def _traced_fit(self, rep, path):

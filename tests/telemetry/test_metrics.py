@@ -151,3 +151,34 @@ class TestRecordEvent:
         snap = self._feed(SpanFinished(span="fit.train", wall_s=0.2, cpu_s=0.1))
         assert snap["counters"]["spans.fit.train"] == 1
         assert snap["histograms"]["spans.wall_s"]["n"] == 1
+
+
+class TestHistogramEdgeCases:
+    """ISSUE 8 satellite: the fixed-bucket boundary semantics, pinned."""
+
+    def test_value_exactly_on_an_interior_edge_lands_below_it(self):
+        # Edges are inclusive upper bounds: bisect_left puts an exact
+        # edge hit into the bucket that edge closes, not the next one.
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        hist.observe(2.0)
+        assert hist.counts == [0, 1, 0, 0]
+
+    def test_value_exactly_on_the_last_edge_does_not_overflow(self):
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        hist.observe(4.0)
+        assert hist.counts == [0, 0, 1, 0]
+
+    def test_positive_infinity_lands_in_the_overflow_bucket(self):
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        hist.observe(float("inf"))
+        assert hist.counts == [0, 0, 0, 1]
+        assert hist.n == 1
+
+    def test_overflow_bucket_is_beyond_every_edge(self):
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        hist.observe(4.000001)
+        assert hist.counts == [0, 0, 0, 1]
+
+    def test_empty_registry_snapshot_shape(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}

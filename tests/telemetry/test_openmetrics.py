@@ -1,0 +1,133 @@
+"""OpenMetrics exposition: rendering semantics and the snapshot-file sink."""
+
+import pytest
+
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import (
+    FeatureTaskFinished,
+    RunFinished,
+    RunStarted,
+    SpanFinished,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.openmetrics import (
+    OpenMetricsSink,
+    metric_name,
+    render_openmetrics,
+)
+from repro.telemetry.sinks import TelemetrySinkError
+
+
+class TestMetricName:
+    def test_dots_and_brackets_become_underscores(self):
+        assert metric_name("executor.tasks_ok") == "repro_executor_tasks_ok"
+        assert metric_name("spans.ensemble.member[3]") == "repro_spans_ensemble_member_3_"
+
+
+class TestRender:
+    def test_counter_family_uses_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("executor.tasks_ok").inc(5)
+        text = render_openmetrics(reg)
+        assert "# TYPE repro_executor_tasks_ok counter" in text
+        assert "repro_executor_tasks_ok_total 5" in text
+
+    def test_gauge_family_exposes_value_and_running_max(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("rss")
+        gauge.set(10.0)
+        gauge.set(3.0)
+        text = render_openmetrics(reg)
+        assert "repro_rss 3.0" in text
+        assert "repro_rss_max 10.0" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf_overflow(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", edges=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        text = render_openmetrics(reg)
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="2.0"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_sum 101.0" in text
+        assert "repro_lat_count 3" in text
+
+    def test_ends_with_eof_terminator(self):
+        assert render_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_rendering_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").inc(2)
+            reg.counter("a").inc(1)
+            reg.gauge("g").set(1.5)
+            reg.histogram("h", edges=(1.0,)).observe(0.5)
+            return render_openmetrics(reg)
+
+        assert build() == build()
+
+
+class TestSink:
+    def _events(self):
+        return [
+            RunStarted(kind="fit", n_tasks=2),
+            FeatureTaskFinished(index=0, status="ok", duration_s=0.2),
+            SpanFinished(span="fit.train", wall_s=1.0),
+            RunFinished(kind="fit", status="ok"),
+        ]
+
+    def test_snapshot_file_tracks_the_run(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = OpenMetricsSink(path, min_interval_s=0.0)
+        assert path.exists()  # valid empty exposition from construction
+        bus = EventBus([sink])
+        for event in self._events():
+            bus.emit(event)
+        bus.close()
+        text = path.read_text(encoding="utf-8")
+        assert "repro_runs_started_total 1" in text
+        assert "repro_runs_finished_ok_total 1" in text
+        assert "repro_executor_tasks_ok_total 1" in text
+        assert "repro_spans_fit_train_total 1" in text
+        assert text.endswith("# EOF\n")
+        assert not path.with_name(path.name + ".tmp").exists()  # atomic replace
+
+    def test_throttled_sink_still_writes_through_on_close(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = OpenMetricsSink(path, min_interval_s=3600.0)
+        initial_snapshots = sink.n_snapshots
+        bus = EventBus([sink])
+        for event in self._events():
+            bus.emit(event)
+        # Throttled: no snapshot per event...
+        assert sink.n_snapshots == initial_snapshots
+        bus.close()
+        # ...but close writes the final state unconditionally.
+        assert sink.n_snapshots == initial_snapshots + 1
+        assert "repro_runs_finished_ok_total 1" in path.read_text(encoding="utf-8")
+
+    def test_closed_sink_rejects_records(self, tmp_path):
+        from repro.telemetry.bus import TraceRecord
+
+        sink = OpenMetricsSink(tmp_path / "m.prom", min_interval_s=0.0)
+        sink.close()
+        with pytest.raises(TelemetrySinkError, match="closed"):
+            sink.handle(TraceRecord(seq=0, t_wall=0.0, event=RunStarted()))
+
+    def test_unwritable_target_fails_fast(self, tmp_path):
+        with pytest.raises(TelemetrySinkError, match="cannot write"):
+            OpenMetricsSink(tmp_path / "absent" / "m.prom")
+
+    def test_configure_wires_the_sink(self, tmp_path):
+        from repro.telemetry import runtime
+
+        path = tmp_path / "m.prom"
+        previous = runtime.get_bus()
+        runtime.configure(openmetrics_path=str(path))
+        try:
+            runtime.emit(RunStarted(kind="fit"))
+        finally:
+            runtime.shutdown()
+            runtime.set_bus(previous)
+        assert "repro_runs_started_total 1" in path.read_text(encoding="utf-8")

@@ -233,3 +233,53 @@ class TestAttribution:
             else:
                 raise AssertionError(f"unimportable qualname {qualname}")
             assert callable(obj), qualname
+
+
+class TestNearestRankPercentile:
+    """ISSUE 8 satellite: deterministic percentiles, no interpolation."""
+
+    def test_known_population(self):
+        from repro.telemetry.trace import nearest_rank_percentile
+
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert nearest_rank_percentile(values, 50) == 50.0
+        assert nearest_rank_percentile(values, 95) == 95.0
+        assert nearest_rank_percentile(values, 99) == 99.0
+
+    def test_result_is_always_an_observed_member(self):
+        from repro.telemetry.trace import PERCENTILE_POINTS, nearest_rank_percentile
+
+        values = [0.3, 7.1, 2.2, 0.9]
+        for p in PERCENTILE_POINTS:
+            assert nearest_rank_percentile(values, p) in values
+
+    def test_single_element_is_every_percentile(self):
+        from repro.telemetry.trace import nearest_rank_percentile
+
+        assert nearest_rank_percentile([4.2], 50) == 4.2
+        assert nearest_rank_percentile([4.2], 99) == 4.2
+
+    def test_empty_population_raises(self):
+        from repro.telemetry.trace import nearest_rank_percentile
+
+        with pytest.raises(ValueError, match="empty population"):
+            nearest_rank_percentile([], 50)
+
+    def test_summary_carries_phase_percentiles(self):
+        walls = [0.1, 0.2, 0.3, 0.4]
+        records = [
+            rec(i, "SpanFinished", span="fit.train", depth=0, wall_s=w, cpu_s=w / 2)
+            for i, w in enumerate(walls)
+        ]
+        summary = summarize_trace(records)
+        pct = summary.phase_percentiles["fit.train"]
+        assert pct["wall"] == [0.2, 0.4, 0.4]
+        assert pct["cpu"] == [0.1, 0.2, 0.2]
+
+    def test_render_shows_percentile_columns(self):
+        records = [
+            rec(0, "SpanFinished", span="fit.train", depth=0, wall_s=0.5, cpu_s=0.4)
+        ]
+        text = render_trace_summary(summarize_trace(records))
+        assert "wall-p50/p95/p99=0.500/0.500/0.500" in text
+        assert "cpu-p50/p95/p99=0.400/0.400/0.400" in text

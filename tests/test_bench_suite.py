@@ -124,3 +124,105 @@ class TestTable2Trajectory:
         doc = json.loads((tmp_path / "BENCH_table2.json").read_text(encoding="utf-8"))
         assert [e["label"] for e in doc["entries"]] == ["baseline", "new"]
         assert doc["entries"][0]["wall_s"] == 165.0
+
+
+def _load_regress():
+    import importlib.util
+    import sys
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_regress", BENCH_DIR / "regress.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations through sys.modules
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        del sys.modules[spec.name]
+        raise
+    return module
+
+
+class TestRegressGate:
+    """ISSUE 8 tentpole (d): the surprisal-calibrated perf gate.
+
+    The gate must bless the committed trajectory (CI runs it blocking)
+    and fail loudly on a synthetic across-the-board slowdown.
+    """
+
+    @pytest.fixture(scope="class")
+    def regress(self):
+        return _load_regress()
+
+    @pytest.fixture(scope="class")
+    def trajectory(self):
+        return json.loads(
+            (BENCH_DIR / "results" / "BENCH_table2.json").read_text(encoding="utf-8")
+        )
+
+    def _slowed(self, trajectory, factor=2.0):
+        import copy
+
+        doc = copy.deepcopy(trajectory)
+        by_label = {e["label"]: e for e in doc["entries"]}
+        slow = copy.deepcopy(by_label["batched-ridge"])
+        slow["label"] = "synthetic-slowdown"
+        slow["wall_s"] = slow["wall_s"] * factor
+        for row in slow.get("rows", []):
+            if row.get("time_s"):
+                row["time_s"] = row["time_s"] * factor
+        doc["entries"].append(slow)
+        return doc
+
+    def test_committed_trajectory_passes(self, regress, trajectory):
+        result = regress.evaluate(trajectory)
+        assert result.candidate == "batched-ridge"
+        assert result.baseline == "per-feature-linear-svr"
+        assert result.mode == "surprisal"
+        assert len(result.matched) >= regress.MIN_MATCHED_ROWS
+        assert result.mean_ratio < 0  # the batched rewrite is faster
+        assert not result.regressed
+        assert "verdict: pass" in regress.render_gate(result)
+
+    def test_synthetic_2x_slowdown_regresses(self, regress, trajectory):
+        result = regress.evaluate(self._slowed(trajectory))
+        assert result.candidate == "synthetic-slowdown"
+        # The gate defends the best committed point, not the previous entry.
+        assert result.baseline == "batched-ridge"
+        assert result.regressed
+        assert "verdict: REGRESSION" in regress.render_gate(result)
+
+    def test_main_exit_codes(self, regress, trajectory, tmp_path, capsys):
+        committed = BENCH_DIR / "results" / "BENCH_table2.json"
+        assert regress.main([str(committed)]) == 0
+        assert "verdict: pass" in capsys.readouterr().out
+
+        slowed = tmp_path / "slow.json"
+        slowed.write_text(json.dumps(self._slowed(trajectory)), encoding="utf-8")
+        assert regress.main([str(slowed)]) == 1
+        assert "verdict: REGRESSION" in capsys.readouterr().out
+
+        assert regress.main([str(tmp_path / "absent.json")]) == 2
+
+    def test_wall_band_fallback_below_min_matched_rows(self, regress):
+        doc = {
+            "entries": [
+                {"label": "old", "wall_s": 10.0, "rows": []},
+                {"label": "new", "wall_s": 12.0, "rows": []},
+            ]
+        }
+        result = regress.evaluate(doc)
+        assert result.mode == "wall-band"
+        assert result.regressed  # 1.2 > RATIO_THRESHOLD
+        ok = regress.evaluate(
+            {"entries": [
+                {"label": "old", "wall_s": 10.0, "rows": []},
+                {"label": "new", "wall_s": 10.5, "rows": []},
+            ]}
+        )
+        assert ok.mode == "wall-band" and not ok.regressed
+
+    def test_single_entry_trajectory_is_unusable(self, regress):
+        with pytest.raises(regress.RegressError, match="single entry"):
+            regress.evaluate({"entries": [{"label": "only", "wall_s": 1.0}]})
