@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.analysis.concurrency import resolve_callable_ref, submitted_work_fn
 from repro.analysis.dataflow import TaintConfig, TaintEngine
 from repro.analysis.framework import (
     ProjectChecker,
@@ -43,21 +44,9 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def _resolve_callable_ref(graph, module: ModuleIndex, info: FunctionInfo,
-                          refs: list) -> "str | None":
-    """Internal qualname for a single-name value reference, if resolvable."""
-    if len(refs) != 1 or refs[0].get("k") != "name":
-        return None
-    name = refs[0]["v"]
-    if name in info.local_defs:
-        return f"{module.name}.{info.local_defs[name]}"
-    dotted = module.aliases.get(name)
-    if dotted is None and name in module.symbols:
-        dotted = f"{module.name}.{name}"
-    if dotted is None:
-        return None
-    resolution = graph._resolve_dotted(dotted)
-    return resolution.target if resolution.kind == "internal" else None
+# Work-function discovery is shared with the concurrency model (FRL021+);
+# the canonical implementations live in repro.analysis.concurrency.
+_resolve_callable_ref = resolve_callable_ref
 
 
 def _final(name: str) -> str:
@@ -259,17 +248,7 @@ class ForkSafetyChecker(ProjectChecker):
 
     def _submitted_fn(self, graph, module: ModuleIndex, info: FunctionInfo,
                       op: dict, resolution) -> "str | None":
-        callee = op["callee"]
-        is_run_tasks = (
-            resolution.kind == "internal"
-            and resolution.target is not None
-            and _final(resolution.target) == "run_tasks"
-        ) or (callee.get("kind") == "name" and _final(callee.get("v", "")) == "run_tasks")
-        is_submit = callee.get("kind") == "method" and callee.get("attr") == "submit"
-        if not (is_run_tasks or is_submit):
-            return None
-        refs = op["args"][0] if op["args"] else op["kwargs"].get("fn", [])
-        return _resolve_callable_ref(graph, module, info, refs)
+        return submitted_work_fn(graph, module, info, op, resolution)
 
     def _audit(self, graph, module: ModuleIndex, op: dict, root: str,
                seen: set) -> Iterator[Violation]:

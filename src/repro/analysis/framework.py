@@ -301,6 +301,7 @@ class ProjectContext:
         self.index = index
         self._graph = None
         self._perf = None
+        self._concurrency = None
 
     @property
     def graph(self):
@@ -323,6 +324,20 @@ class ProjectContext:
 
             self._perf = analyze_performance(self)
         return self._perf
+
+    @property
+    def concurrency(self):
+        """The FRL021–FRL025 happens-before model, computed once.
+
+        Work roots, worker reachability, mutable globals, the lock
+        inventory, and the lock-order graph are shared by all five
+        concurrency rules, so the model builds at most once per context.
+        """
+        if self._concurrency is None:
+            from repro.analysis.concurrency import build_concurrency_model
+
+            self._concurrency = build_concurrency_model(self)
+        return self._concurrency
 
 
 @dataclass
@@ -398,7 +413,12 @@ def all_checkers() -> "list[Checker]":
 
 def get_checker(rule: str) -> Checker:
     _ensure_builtin_checkers()
-    return _REGISTRY[rule]()
+    # The registry is populated once per interpreter by import-time
+    # @register decorators (append-only, and _ensure_builtin_checkers ran
+    # on the line above), so a process-mode scan worker reads its own
+    # fully-initialized copy and thread-mode readers see a dict that no
+    # longer changes.
+    return _REGISTRY[rule]()  # fraclint: disable=FRL021 — import-time-frozen registry, initialized before any read
 
 
 def _ensure_builtin_checkers() -> None:

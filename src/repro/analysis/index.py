@@ -49,9 +49,22 @@ __all__ = [
 
 #: Bump when the index or checker semantics change: stale cache entries
 #: produced by an older fraclint must not satisfy a newer one.
-CACHE_SCHEMA_VERSION = 2
+#: v3: concurrency facts (lock contexts, async markers, attribute
+#: accesses, mutations, with-resource scopes) for FRL021-FRL025.
+CACHE_SCHEMA_VERSION = 3
 
 _BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: Method names that mutate their receiver in place. Used to classify a
+#: ``x.append(...)`` as a *write* to ``x`` (and ``self.sinks.append(...)``
+#: as a write access to the ``sinks`` field) for the concurrency rules.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "extendleft", "insert", "pop", "popitem", "remove", "setdefault",
+        "update", "write",
+    }
+)
 
 
 def module_name_for(path: Path) -> str:
@@ -119,6 +132,31 @@ class FunctionInfo:
     opens: list = field(default_factory=list)
     free_names: list = field(default_factory=list)
     local_defs: dict = field(default_factory=dict)  # bare name -> qualname
+    # -- concurrency facts (fraclint v4, FRL021-FRL025) ------------------
+    is_async: bool = False
+    is_generator: bool = False
+    #: module-level symbol loads: [{"name", "lineno", "locks": [...]}]
+    reads: list = field(default_factory=list)
+    #: in-place container/global mutations, classified by scope:
+    #: [{"name", "how": subscript|attribute|method|aug|global|delete,
+    #:   "scope": local|global|alias|free, "target": dotted (non-local),
+    #:   "lineno", "locks": [...]}]
+    mutations: list = field(default_factory=list)
+    #: ``self.<field>`` accesses: [{"attr", "kind": read|write, "lineno",
+    #:   "locks": [...]}]
+    attr_accesses: list = field(default_factory=list)
+    #: with-statement acquisitions of name-shaped context managers:
+    #: [{"lock", "lineno", "held": [locks already held]}]
+    lock_acquires: list = field(default_factory=list)
+    #: lock attributes/names bound to a threading factory:
+    #: [{"name" | "attr", "lineno", "factory": dotted factory}]
+    lock_defs: list = field(default_factory=list)
+    #: "lineno:col" of call sites executed while holding a lock -> locks
+    call_locks: dict = field(default_factory=dict)
+    #: "lineno:col" of call sites directly under ``await``
+    awaited: list = field(default_factory=list)
+    #: "lineno:col" of call sites used as a with-statement context
+    with_calls: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -132,6 +170,16 @@ class FunctionInfo:
             "opens": self.opens,
             "free_names": self.free_names,
             "local_defs": self.local_defs,
+            "is_async": self.is_async,
+            "is_generator": self.is_generator,
+            "reads": self.reads,
+            "mutations": self.mutations,
+            "attr_accesses": self.attr_accesses,
+            "lock_acquires": self.lock_acquires,
+            "lock_defs": self.lock_defs,
+            "call_locks": self.call_locks,
+            "awaited": self.awaited,
+            "with_calls": self.with_calls,
         }
 
     @classmethod
@@ -308,6 +356,366 @@ def _target_names(target: ast.AST) -> "list[str]":
         # ``preds[i] = v`` / ``obj.attr = v`` mutate the base container.
         names.extend(_target_names(target.value))
     return names
+
+
+def _dotted_of(expr: ast.AST) -> "str | None":
+    """``a.b.c`` string for a name-shaped expression, else None."""
+    parts: list[str] = []
+    cur = expr
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        return ".".join([cur.id] + list(reversed(parts)))
+    return None
+
+
+def _contains_yield(node: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+    stack: list = list(node.body)
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(cur, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(cur))
+    return False
+
+
+#: Lock/semaphore factories whose result is treated as a lock object.
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "threading.Semaphore", "threading.BoundedSemaphore",
+        "multiprocessing.Lock", "multiprocessing.RLock",
+    }
+)
+
+
+class _ConcurrencyFacts(ast.NodeVisitor):
+    """Lock-aware second pass over one function body (fraclint v4).
+
+    Walks the same statements as :class:`_FunctionCollector` but tracks
+    the ``with``-statement lock stack, producing the facts the
+    concurrency rules (FRL021-FRL025) consume: module-global reads,
+    in-place mutations classified by scope, ``self.<field>`` accesses,
+    lock acquisitions with held-set, awaited/with-managed call
+    positions. Nested function and class bodies are skipped — they are
+    indexed as functions of their own.
+    """
+
+    def __init__(self, module: "_ModuleCollector", params: "list[str]") -> None:
+        self.module = module
+        self._params = set(params)
+        self._held: list[str] = []
+        self._globals: set[str] = set()
+        self._rebinds: set[str] = set()
+        self._raw_reads: list[dict] = []
+        self._raw_mutations: list[dict] = []
+        self.attr_accesses: list[dict] = []
+        self.lock_acquires: list[dict] = []
+        self.lock_defs: list[dict] = []
+        self.call_locks: dict = {}
+        self.awaited: list[str] = []
+        self.with_calls: list[str] = []
+
+    # -- driving ----------------------------------------------------------
+
+    def run(self, body: "list[ast.stmt]") -> None:
+        self._prescan_globals(body)
+        for stmt in body:
+            self.visit(stmt)
+
+    def _prescan_globals(self, body: "list[ast.stmt]") -> None:
+        # ``global X`` applies to the whole function scope regardless of
+        # where the statement sits; collect declarations up front,
+        # skipping nested defs (their globals are their own).
+        stack: list = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Global):
+                self._globals.update(node.names)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def reads(self) -> list:
+        skip = self._rebinds | self._params
+        return [r for r in self._raw_reads if r["name"] not in skip]
+
+    def mutations(self) -> list:
+        out: list = []
+        for m in self._raw_mutations:
+            name = m["name"]
+            if name == "self" or name in self._params or (
+                name in self._rebinds and name not in self._globals
+            ):
+                scope, target = "local", None
+            elif m["how"] == "global" or name in self._globals:
+                scope, target = "global", f"{self.module.name}.{name}"
+            elif name in self.module.symbols:
+                scope, target = "global", f"{self.module.name}.{name}"
+            elif name in self.module.aliases:
+                scope, target = "alias", self.module.aliases[name]
+            else:
+                scope, target = "free", None
+            out.append({**m, "scope": scope, "target": target})
+        return out
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _key(node: ast.AST) -> str:
+        return f"{node.lineno}:{node.col_offset}"
+
+    def _read(self, name: str, lineno: int) -> None:
+        if name in self.module.symbols:
+            self._raw_reads.append(
+                {"name": name, "lineno": lineno, "locks": list(self._held)}
+            )
+
+    def _mutate(self, name: str, how: str, lineno: int) -> None:
+        self._raw_mutations.append(
+            {"name": name, "how": how, "lineno": lineno, "locks": list(self._held)}
+        )
+
+    def _self_access(self, attr: str, kind: str, lineno: int) -> None:
+        self.attr_accesses.append(
+            {"attr": attr, "kind": kind, "lineno": lineno, "locks": list(self._held)}
+        )
+
+    # -- statements --------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._rebinds.add(node.name)
+        for deco in node.decorator_list:
+            self.visit(deco)
+        for default in node.args.defaults + [d for d in node.args.kw_defaults if d]:
+            self.visit(default)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._rebinds.add(node.name)
+        for deco in node.decorator_list:
+            self.visit(deco)
+        for base in node.bases:
+            self.visit(base)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        args = node.args
+        self._rebinds.update(
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        )
+        if args.vararg:
+            self._rebinds.add(args.vararg.arg)
+        if args.kwarg:
+            self._rebinds.add(args.kwarg.arg)
+        self.visit(node.body)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._rebinds.add((alias.asname or alias.name).split(".")[0])
+
+    visit_ImportFrom = visit_Import  # type: ignore[assignment]
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self._rebinds.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_lock_def(node.targets, node.value, node.lineno)
+        for target in node.targets:
+            self._record_store(target, node.lineno)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_lock_def([node.target], node.value, node.lineno)
+            self._record_store(node.target, node.lineno)
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_store(node.target, node.lineno)
+        self.visit(node.value)
+
+    def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+        self._record_store(node.target, node.lineno)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                self._record_store(target, node.lineno, how="delete")
+
+    def visit_For(self, node: "ast.For | ast.AsyncFor") -> None:
+        self._record_store(node.target, node.lineno)
+        self.visit(node.iter)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    def visit_Global(self, node: ast.Global) -> None:
+        pass  # handled by the prescan
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        self._rebinds.update(_comprehension_targets(node))
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_With(self, node: "ast.With | ast.AsyncWith") -> None:
+        acquired = 0
+        for item in node.items:
+            ctx_expr = item.context_expr
+            lock = _dotted_of(ctx_expr)
+            if lock is None and isinstance(ctx_expr, ast.Call):
+                self.with_calls.append(self._key(ctx_expr))
+                func = ctx_expr.func
+                if isinstance(func, ast.Name) and func.id == "getattr":
+                    # ``with getattr(self, "_lock"):`` — a lock we cannot
+                    # name. Recorded so the rules treat the scope as
+                    # neither guarded nor unguarded evidence.
+                    lock = "<dynamic>"
+            if item.optional_vars is not None:
+                self._record_store(item.optional_vars, node.lineno)
+            self.visit(ctx_expr)
+            if lock is not None:
+                self.lock_acquires.append(
+                    {"lock": lock, "lineno": ctx_expr.lineno, "held": list(self._held)}
+                )
+                self._held.append(lock)
+                acquired += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if acquired:
+            del self._held[-acquired:]
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    # -- expressions -------------------------------------------------------
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self.awaited.append(self._key(node.value))
+        self.visit(node.value)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._read(node.id, node.lineno)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            return self.generic_visit(node)
+        parts = [node.attr]
+        cur = node.value
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            if cur.id == "self":
+                self._self_access(parts[-1], "read", node.lineno)
+            else:
+                self._read(cur.id, node.lineno)
+            return None
+        self.visit(cur)
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._held:
+            self.call_locks[self._key(node)] = list(self._held)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            mutator = func.attr in _MUTATOR_METHODS
+            parts: list[str] = []
+            cur = func.value
+            while isinstance(cur, ast.Attribute):
+                parts.append(cur.attr)
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                if cur.id == "self":
+                    if parts:
+                        self._self_access(
+                            parts[-1], "write" if mutator else "read", node.lineno
+                        )
+                else:
+                    if mutator:
+                        self._mutate(cur.id, "method", node.lineno)
+                    self._read(cur.id, node.lineno)
+            else:
+                self.visit(cur)
+        elif not isinstance(func, ast.Name):
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    # -- stores -------------------------------------------------------------
+
+    def _record_store(self, target: ast.AST, lineno: int, how: "str | None" = None) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self._globals:
+                self._mutate(target.id, how or "global", lineno)
+            else:
+                self._rebinds.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_store(element, lineno, how=how)
+        elif isinstance(target, ast.Starred):
+            self._record_store(target.value, lineno, how=how)
+        elif isinstance(target, ast.Subscript):
+            self._store_base(target.value, how or "subscript", lineno)
+            self.visit(target.slice)
+        elif isinstance(target, ast.Attribute):
+            self._store_base(target, how or "attribute", lineno)
+
+    def _store_base(self, expr: ast.AST, how: str, lineno: int) -> None:
+        """Record the container mutated by a subscript/attribute store."""
+        parts: list[str] = []
+        cur = expr
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            if cur.id == "self" and parts:
+                self._self_access(parts[-1], "write", lineno)
+            self._mutate(cur.id, how, lineno)
+        elif isinstance(cur, ast.Subscript):
+            self._store_base(cur.value, how, lineno)
+            self.visit(cur.slice)
+        else:
+            self.visit(cur)
+
+    def _record_lock_def(self, targets: "list[ast.AST]", value: ast.AST,
+                         lineno: int) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        dotted = _dotted_of(value.func)
+        if dotted is None:
+            return
+        head, _, rest = dotted.partition(".")
+        resolved = self.module.aliases.get(head, head) + (f".{rest}" if rest else "")
+        if resolved not in _LOCK_FACTORIES:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.lock_defs.append(
+                    {"name": target.id, "lineno": lineno, "factory": resolved}
+                )
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.lock_defs.append(
+                    {"attr": target.attr, "lineno": lineno, "factory": resolved}
+                )
 
 
 class _FunctionCollector:
@@ -623,8 +1031,24 @@ class _ModuleCollector:
         )
         collector.visit_body(node.body)
         info = collector.finish()
+        info.is_async = isinstance(node, ast.AsyncFunctionDef)
+        info.is_generator = _contains_yield(node)
+        self._attach_facts(info, node.body, params)
         self.index.functions[local] = info.to_dict()
         return local
+
+    def _attach_facts(self, info: FunctionInfo, body: "list[ast.stmt]",
+                      params: "list[str]") -> None:
+        facts = _ConcurrencyFacts(self, params)
+        facts.run(body)
+        info.reads = facts.reads()
+        info.mutations = facts.mutations()
+        info.attr_accesses = facts.attr_accesses
+        info.lock_acquires = facts.lock_acquires
+        info.lock_defs = facts.lock_defs
+        info.call_locks = facts.call_locks
+        info.awaited = facts.awaited
+        info.with_calls = facts.with_calls
 
     def _collect_class(self, node: ast.ClassDef) -> None:
         bases = []
@@ -655,10 +1079,15 @@ class _ModuleCollector:
             self, qualname=f"{self.name}.<module>", name="<module>",
             lineno=1, params=[], class_name=None,
         )
-        for stmt in tree.body:
-            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                collector.visit_stmt(stmt)
-        self.index.functions["<module>"] = collector.finish().to_dict()
+        body = [
+            stmt for stmt in tree.body
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        ]
+        for stmt in body:
+            collector.visit_stmt(stmt)
+        info = collector.finish()
+        self._attach_facts(info, body, params=[])
+        self.index.functions["<module>"] = info.to_dict()
 
     def _collect_dict_literals(self, tree: ast.Module) -> None:
         for stmt in tree.body:

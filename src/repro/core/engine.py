@@ -42,6 +42,7 @@ per-feature path.
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -145,21 +146,33 @@ def kfold_indices(
 #: every task with the same usable-row count reuses one dealt layout
 #: instead of re-seeding a generator per task. Entries are treated as
 #: read-only; the bound only guards pathological studies that sweep
-#: thousands of distinct row counts.
+#: thousands of distinct row counts. Thread-mode tasks share the memo,
+#: so every access holds ``_FOLD_CACHE_LOCK`` (FRL021): the check-then-
+#: insert and the capacity ``clear()`` must be atomic with respect to
+#: each other.
 _FOLD_CACHE: "dict[tuple[int, int, int], list[tuple[np.ndarray, np.ndarray]]]" = {}
+_FOLD_CACHE_LOCK = threading.Lock()
 
 
 def shared_folds(
     fold_seed: int, n: int, k: int
 ) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Memoized ``kfold_indices(n, k, fold_rng(fold_seed, n))``."""
+    """Memoized ``kfold_indices(n, k, fold_rng(fold_seed, n))``.
+
+    The memo is purely an optimization: the value for a key is a pure
+    function of the key, so a process-mode worker repopulating its own
+    copy-on-write snapshot recomputes the identical layout — losing the
+    write at the harvest barrier costs time, never correctness (the
+    audited FRL025 suppressions below).
+    """
     key = (int(fold_seed), int(n), int(k))
-    folds = _FOLD_CACHE.get(key)
-    if folds is None:
-        folds = kfold_indices(n, k, fold_rng(fold_seed, n))
-        if len(_FOLD_CACHE) >= 1024:
-            _FOLD_CACHE.clear()
-        _FOLD_CACHE[key] = folds
+    with _FOLD_CACHE_LOCK:
+        folds = _FOLD_CACHE.get(key)
+        if folds is None:
+            folds = kfold_indices(n, k, fold_rng(fold_seed, n))
+            if len(_FOLD_CACHE) >= 1024:
+                _FOLD_CACHE.clear()  # fraclint: disable=FRL025 — pure memo; a worker-local clear only costs recompute
+            _FOLD_CACHE[key] = folds  # fraclint: disable=FRL025 — pure memo; key determines value, lost writes recompute identically
     return folds
 
 

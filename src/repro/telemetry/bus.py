@@ -84,7 +84,8 @@ class EventBus:
 
     @property
     def n_emitted(self) -> int:
-        return self._seq
+        with self._lock:
+            return self._seq
 
     def trace_metadata(self) -> dict:
         """Summary embedded alongside persisted artifacts: where the
@@ -98,8 +99,17 @@ class EventBus:
             }
 
     def close(self) -> None:
-        """Close every sink; further emits become no-ops."""
+        """Close every sink; further emits become no-ops.
+
+        Sinks are snapshotted under the lock but closed outside it: a
+        sink whose ``close()`` re-enters the bus (flushing a final
+        summary through ``emit``, reading ``n_emitted``) would deadlock
+        on the non-reentrant ``threading.Lock`` if teardown happened
+        inside the critical section. ``_closed`` is set first, so any
+        re-entrant emit during teardown is a defined no-op.
+        """
         with self._lock:
             self._closed = True
-            for sink in self.sinks:
-                sink.close()
+            sinks = list(self.sinks)
+        for sink in sinks:
+            sink.close()

@@ -1,0 +1,45 @@
+"""Adversarial cases: the analyzer must degrade gracefully, not guess.
+
+Everything in this file is required to scan CLEAN for FRL021-FRL025:
+a dynamically-fetched lock attribute is neither guarded nor unguarded
+evidence, a lock received as a parameter still exempts the accesses
+under it (without entering the global lock-order graph), and calling an
+``async`` *generator* returns an iterator, not a coroutine — it must
+not be flagged as unawaited.
+"""
+
+import threading
+
+
+class DynamicLock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def read(self):
+        with self._lock:
+            return self._value
+
+    def reset(self):
+        with self._lock:
+            self._value = 0
+
+    def dynamic_read(self):
+        with getattr(self, "_lock"):  # dynamic attribute: no evidence
+            return self._value
+
+
+def guarded_update(lock, store, key):
+    with lock:  # lock passed as argument: exempts, never ordered
+        store[key] = key
+    return store
+
+
+async def stream(items):
+    for item in items:
+        yield item  # async generator, not a coroutine
+
+
+def kickoff(items):
+    stream(items)  # returns an async iterator: not an unawaited coroutine
+    return None

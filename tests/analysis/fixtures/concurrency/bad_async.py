@@ -1,0 +1,35 @@
+"""FRL023 fixtures: blocking in async paths, unawaited coroutines."""
+
+import asyncio
+import time
+
+
+def load_rows(path):
+    handle = open(path)  # blocking file I/O
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+async def helper():
+    return 1
+
+
+async def fetch(request):
+    time.sleep(0.1)  # line 20: blocks the event loop directly
+    return request
+
+
+async def gather_rows(paths):
+    return [load_rows(p) for p in paths]  # line 25: transitively blocking
+
+
+async def main_loop(items):
+    helper()  # line 29: coroutine constructed but never awaited
+    return [await fetch(item) for item in items]
+
+
+async def spawn_all(items):
+    for _ in items:
+        asyncio.create_task(helper())  # line 35: fire-and-forget task

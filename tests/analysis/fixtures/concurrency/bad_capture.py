@@ -1,0 +1,27 @@
+"""FRL021 fixtures: workers touching unlocked shared mutable state."""
+
+_CACHE = {}
+
+
+def run_tasks(fn, items):
+    return [fn(x) for x in items]
+
+
+def work(task):
+    if task not in _CACHE:  # line 11: unlocked read of a mutable global
+        _CACHE[task] = task * 2
+    return _CACHE[task]  # line 13: unlocked read
+
+
+def make_batch(items):
+    results = []
+
+    def closure_work(task):
+        results.append(task)  # line 20: mutates captured state
+        return task
+
+    return run_tasks(closure_work, items)
+
+
+def main(items):
+    return run_tasks(work, items)

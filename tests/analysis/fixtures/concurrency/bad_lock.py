@@ -1,0 +1,41 @@
+"""FRL022 fixtures: inconsistent guards, blocking under a lock, cycles."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1  # guarded write
+
+    def peek(self):
+        return self._count  # line 19: unguarded read of a guarded field
+
+
+class Closer:
+    def __init__(self, sink):
+        self._lock = threading.Lock()
+        self._sink = sink
+
+    def shutdown(self):
+        with self._lock:
+            self._sink.close()  # line 28: blocking close under the lock
+
+
+def first():
+    with LOCK_A:
+        with LOCK_B:  # orders A before B
+            pass
+
+
+def second():
+    with LOCK_B:
+        with LOCK_A:  # line 39: orders B before A — a deadlock cycle
+            pass

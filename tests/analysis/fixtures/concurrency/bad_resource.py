@@ -1,0 +1,27 @@
+"""FRL024 fixtures: leaked and used-after-close resources."""
+
+
+class Journal:
+    def append(self, record):
+        pass
+
+    def close(self):
+        pass
+
+
+def leak(path):
+    journal = Journal()  # line 13: never closed on this path
+    journal.append(path)
+    return path
+
+
+def discard():
+    Journal()  # line 19: constructed and immediately dropped
+    return None
+
+
+def use_after_close(path):
+    journal = Journal()
+    journal.close()
+    journal.append(path)  # line 26: use after close
+    return path

@@ -1,0 +1,19 @@
+"""FRL025 fixtures: module-global mutation inside worker code."""
+
+_LAST = None
+_REGISTRY = {}
+
+
+def run_tasks(fn, items):
+    return [fn(x) for x in items]
+
+
+def work(task):
+    global _LAST
+    _LAST = task  # line 13: rebinding a module global in a worker
+    _REGISTRY[task] = task  # line 14: mutating a module global in a worker
+    return task
+
+
+def main(items):
+    return run_tasks(work, items)

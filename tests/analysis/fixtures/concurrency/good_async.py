@@ -1,0 +1,21 @@
+"""FRL023-clean counterparts: async sleeps, awaited coroutines, held tasks."""
+
+import asyncio
+
+
+async def helper():
+    return 1
+
+
+async def fetch(request):
+    await asyncio.sleep(0.1)  # yields the loop: fine
+    value = await helper()
+    return value + request
+
+
+async def spawn_all(items):
+    tasks = []
+    for _ in items:
+        task = asyncio.create_task(helper())  # handle kept ...
+        tasks.append(task)
+    return await asyncio.gather(*tasks)  # ... and awaited

@@ -1,0 +1,23 @@
+"""FRL021-clean counterparts: locked reads, results via harvest."""
+
+import threading
+
+_CACHE = {}
+_LOCK = threading.Lock()
+
+
+def run_tasks(fn, items):
+    return [fn(x) for x in items]
+
+
+def work(task):
+    with _LOCK:
+        return _CACHE.get(task, 0) + task  # locked read: fine
+
+
+def main(items):
+    out = run_tasks(work, items)
+    # Mutation happens on the parent side of the harvest barrier, in
+    # code no worker reaches.
+    _CACHE.update(dict(zip(items, out)))
+    return out

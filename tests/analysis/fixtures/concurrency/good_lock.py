@@ -1,0 +1,43 @@
+"""FRL022-clean counterparts: consistent guards, one lock order."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        with self._lock:
+            return self._count  # guarded everywhere
+
+
+class Closer:
+    def __init__(self, sink):
+        self._lock = threading.Lock()
+        self._sink = sink
+
+    def shutdown(self):
+        with self._lock:
+            sink = self._sink  # snapshot under the lock ...
+        sink.close()  # ... blocking teardown outside it
+
+
+def first():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def second():
+    with LOCK_A:
+        with LOCK_B:  # same global order: no cycle
+            pass

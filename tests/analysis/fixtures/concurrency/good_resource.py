@@ -1,0 +1,47 @@
+"""FRL024-clean counterparts: managed, explicitly closed, or handed off."""
+
+
+class Journal:
+    def append(self, record):
+        pass
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def managed(path):
+    with Journal() as journal:  # context-managed lifetime
+        journal.append(path)
+
+
+def explicit(path):
+    journal = Journal()
+    try:
+        journal.append(path)
+    finally:
+        journal.close()
+
+
+def handoff():
+    journal = Journal()
+    return journal  # ownership moves to the caller
+
+
+def delegated(sink):
+    journal = Journal()
+    sink.adopt(journal)  # handed to another owner
+    return sink
+
+
+class Owner:
+    def __init__(self):
+        self._journal = Journal()  # stored on self: owner closes it
+
+    def close(self):
+        self._journal.close()

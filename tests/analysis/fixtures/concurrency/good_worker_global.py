@@ -1,0 +1,34 @@
+"""FRL025-clean counterparts: sanctioned initializers, thread-local state."""
+
+import threading
+
+_SHARED = None
+_STATE = threading.local()
+
+
+def run_tasks(fn, items):
+    return [fn(x) for x in items]
+
+
+def _init_worker(payload):
+    # Sanctioned initializer name: the executor runs it before any task.
+    global _SHARED
+    _SHARED = payload
+
+
+def get_shared():
+    return _SHARED
+
+
+def work(task):
+    return (task, get_shared())  # reads via the sanctioned accessor
+
+
+def work_local(task):
+    _STATE.depth = task  # thread-confined by construction: fine
+    return task
+
+
+def main(items):
+    run_tasks(work, items)
+    return run_tasks(work_local, items)
