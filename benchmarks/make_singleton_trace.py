@@ -1,0 +1,51 @@
+"""Regenerate the pre-batching (singleton) Table II reference trace.
+
+One-shot companion to ``bench_table2_full_frac.py``: runs Table II with
+the batched-ridge generation's engine flags replayed —
+``repro.core.engine.MASKED_GROUPING`` and ``BATCHED_SCORING`` both off,
+i.e. exact-key (singleton) training batches and the per-model
+``score.gather`` loop — under a fracscope trace, condenses it, and
+leaves ``BENCH_table2_trace_batched_ridge.jsonl`` next to the current
+reference trace. The two committed traces are the fixture pair behind::
+
+    python -m repro trace diff \
+        benchmarks/results/BENCH_table2_trace_batched_ridge.jsonl \
+        benchmarks/results/BENCH_table2_trace.jsonl
+
+which must reproduce the scoring rewrite's ``score.gather`` →
+``score.batch`` improvement from trace data alone (the diff matches the
+renamed populations through their shared qualname; pinned by
+tests/telemetry/test_diff.py).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from conftest import RESULTS_DIR, capture_trace, condense_trace  # noqa: E402
+
+import repro.core.engine as engine  # noqa: E402
+from repro.experiments import default_study, table2  # noqa: E402
+
+
+def main() -> int:
+    settings = default_study()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace_path = RESULTS_DIR / "BENCH_table2_trace_batched_ridge.jsonl"
+    engine.MASKED_GROUPING = False
+    engine.BATCHED_SCORING = False
+    try:
+        with capture_trace(trace_path):
+            table2(settings)
+    finally:
+        engine.MASKED_GROUPING = True
+        engine.BATCHED_SCORING = True
+    condense_trace(trace_path)
+    print(f"wrote {trace_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,11 @@ tasks are grouped by identical ``(rows, input_ids, fold layout)``
 :func:`run_feature_batch`: the row gathers, fold gathers, and the
 learner's design-matrix factorization happen once per group instead of
 once per feature, while every per-column float op replays the scalar
-path verbatim (see :mod:`repro.learners.batched`). The batched path is
+path verbatim (see :mod:`repro.learners.batched`). Tasks that share an
+observed-row mask but not input ids — diverse-FRaC's per-feature input
+draws, and the default all-others wiring — form *masked* groups
+instead: shared row/fold/target gathers and centering, per-member
+column subsets (the masked solver protocol). The batched path is
 **byte-identical** to the per-feature path — NS scores, contributions,
 ``cv_mean_surprisal``, persisted artifacts — and preserves its
 observable semantics: checkpoint journals keep per-feature keys (the two
@@ -53,13 +57,15 @@ from repro.data.schema import FeatureSchema
 from repro.errormodels.confusion import ConfusionErrorModel
 from repro.errormodels.entropy import discrete_entropy
 from repro.errormodels.gaussian import GaussianErrorModel
-from repro.errormodels.kde import GaussianKDE
+from repro.errormodels.kde import GaussianKDE, batch_entropy
 from repro.learners.registry import (
     learner_accepts_param,
     make_batched_learner,
     make_learner,
     supports_batching,
+    supports_masked_batching,
 )
+from repro.learners.ridge import RidgeRegressor
 from repro.parallel.executor import get_shared, run_tasks
 from repro.parallel.faults import FailureReport, FaultPlan, RetryPolicy
 from repro.parallel.profiling import cpu_seconds
@@ -296,22 +302,34 @@ def run_feature_task(task: FeatureTask) -> "tuple[FeatureModel, TaskCost] | None
 #: append (batch results stream to the checkpoint per batch, not per run).
 MAX_BATCH_FEATURES = 64
 
+#: Global switch for masked (shared-rows, per-member input-subset)
+#: grouping. Results are bitwise identical either way — the flag exists
+#: so the Table IV benchmark can price the masked path against the
+#: singleton-batch baseline it replaced (benchmarks/bench_table4_diverse
+#: .py flips it around the "pre" run). Planning happens in the parent
+#: process only, so the flag never crosses a worker boundary.
+MASKED_GROUPING = True
+
 
 @dataclass(frozen=True)
 class FeatureBatch:
-    """A group of real-valued tasks sharing ``(rows, input_ids, folds)``.
+    """A group of real-valued tasks sharing ``(rows, input_ids, folds)`` —
+    or, when ``masked`` is set, sharing only ``(rows, folds)`` with
+    per-member input subsets (the diverse-FRaC shape).
 
     ``indices`` are the member positions in the task list handed to
     :func:`plan_feature_batches`, so the orchestrator can place results
     and re-emit per-feature telemetry without searching. ``group`` is a
-    short content digest of the plan-group key (the observed-mask and
-    input-id byte patterns), stamped onto the batch's ``fit.batch`` span
-    so a trace alone reveals how the planner grouped the feature space.
+    short content digest of the plan-group key (the observed-mask byte
+    pattern, plus the input-id bytes for exact groups), stamped onto the
+    batch's ``fit.batch`` span so a trace alone reveals how the planner
+    grouped the feature space.
     """
 
     tasks: tuple[FeatureTask, ...]
     indices: tuple[int, ...]
     group: str = ""
+    masked: bool = False
 
 
 def batch_task_key(batch: FeatureBatch) -> tuple:
@@ -323,6 +341,7 @@ def plan_feature_batches(
     tasks: "list[FeatureTask]",
     shared: SharedTrainState,
     max_batch: int = MAX_BATCH_FEATURES,
+    masked: bool = True,
 ) -> "tuple[list[FeatureBatch], list[int]]":
     """Group batchable tasks; return ``(batches, passthrough_indices)``.
 
@@ -332,42 +351,65 @@ def plan_feature_batches(
     array: equal masks mean equal usable rows, and — because the fold
     permutation is dealt by :func:`fold_rng` from the shared fold seed
     and the row count — equal rows imply an equal fold layout, completing
-    the ``(rows, input_ids, fold-layout)`` grouping contract. Groups
-    larger than ``max_batch`` split into consecutive chunks (bitwise
-    results are independent of batch boundaries; only amortization and
-    checkpoint granularity change).
+    the ``(rows, input_ids, fold-layout)`` grouping contract.
+
+    When a mask group contains *different* input-id patterns — the
+    all-others wiring and diverse-FRaC's per-feature input draws (paper
+    §II-B), which the exact key degenerates to singletons — and
+    ``masked`` grouping is on, the whole mask group becomes masked
+    batches instead: members share ``(rows, fold layout)`` and carry
+    their own input subsets, executed by the masked-solver path (one row
+    gather / centering per group, one Gram per member; see
+    :mod:`repro.learners.batched`). Groups larger than ``max_batch``
+    split into consecutive chunks (bitwise results are independent of
+    batch boundaries; only amortization and checkpoint granularity
+    change).
 
     Ordering is deterministic: groups appear in first-member order and
     members in task order, so plans are identical across runs and modes.
     """
-    batchable: "dict[tuple[bytes, bytes], list[int]]" = {}
+    masked = masked and MASKED_GROUPING
+    by_mask: "dict[bytes, dict[bytes, list[int]]]" = {}
     passthrough: list[int] = []
     for pos, task in enumerate(tasks):
         if shared.schema[task.feature_id].is_categorical:
             passthrough.append(pos)
             continue
         observed = ~np.isnan(shared.x_targets[:, task.feature_id])
-        key = (
-            observed.tobytes(),
-            np.asarray(task.input_ids, dtype=np.intp).tobytes(),
-        )
-        batchable.setdefault(key, []).append(pos)
+        ids_bytes = np.asarray(task.input_ids, dtype=np.intp).tobytes()
+        by_mask.setdefault(observed.tobytes(), {}).setdefault(ids_bytes, []).append(pos)
     batches: list[FeatureBatch] = []
-    for key, positions in batchable.items():
-        # Deterministic plan-group fingerprint: a content digest of the
-        # grouping key itself, so equal groups carry equal labels across
-        # runs, machines, and batch-size splits (telemetry join key only —
-        # never fed back into computation).
-        group = hashlib.sha256(key[0] + key[1]).hexdigest()[:12]
-        for lo in range(0, len(positions), max_batch):
-            chunk = positions[lo : lo + max_batch]
-            batches.append(
-                FeatureBatch(
-                    tasks=tuple(tasks[p] for p in chunk),
-                    indices=tuple(chunk),
-                    group=group,
+    for mask_bytes, subgroups in by_mask.items():
+        if masked and len(subgroups) > 1:
+            # Deterministic plan-group fingerprint: a content digest of
+            # the grouping key itself, so equal groups carry equal labels
+            # across runs, machines, and batch-size splits (telemetry
+            # join key only — never fed back into computation). Masked
+            # groups digest the mask alone: input ids are per member.
+            group = hashlib.sha256(mask_bytes).hexdigest()[:12]
+            positions = sorted(p for ps in subgroups.values() for p in ps)
+            for lo in range(0, len(positions), max_batch):
+                chunk = positions[lo : lo + max_batch]
+                batches.append(
+                    FeatureBatch(
+                        tasks=tuple(tasks[p] for p in chunk),
+                        indices=tuple(chunk),
+                        group=group,
+                        masked=True,
+                    )
                 )
-            )
+            continue
+        for ids_bytes, positions in subgroups.items():
+            group = hashlib.sha256(mask_bytes + ids_bytes).hexdigest()[:12]
+            for lo in range(0, len(positions), max_batch):
+                chunk = positions[lo : lo + max_batch]
+                batches.append(
+                    FeatureBatch(
+                        tasks=tuple(tasks[p] for p in chunk),
+                        indices=tuple(chunk),
+                        group=group,
+                    )
+                )
     return batches, passthrough
 
 
@@ -394,7 +436,11 @@ def run_feature_batch(batch: FeatureBatch) -> "list[tuple[FeatureModel, TaskCost
     """
     with span(
         "fit.batch",
-        attrs={"batch_size": len(batch.tasks), "group": batch.group},
+        attrs={
+            "batch_size": len(batch.tasks),
+            "group": batch.group,
+            "masked": int(batch.masked),
+        },
     ):
         return _execute_feature_batch(batch)
 
@@ -410,6 +456,8 @@ def _execute_feature_batch(
     rows = np.flatnonzero(~np.isnan(shared.x_targets[:, first.feature_id]))
     if len(rows) < cfg.min_observed:
         return [None] * len(batch.tasks)
+    if batch.masked:
+        return _execute_masked_batch(batch, shared, rows, start)
     input_ids = np.asarray(first.input_ids, dtype=np.intp)
     x_in = shared.x_imputed[np.ix_(rows, input_ids)]
     # One design validation for the whole group: every fold subset below
@@ -473,6 +521,131 @@ def _execute_feature_batch(
                 FeatureModel(
                     feature_id=task.feature_id,
                     input_ids=input_ids,
+                    predictor=predictor,
+                    error_model=error_model,
+                    entropy=entropy,
+                    cv_mean_surprisal=cv_mean_surprisal,
+                ),
+                cost,
+            )
+        )
+    return out
+
+
+def _execute_masked_batch(
+    batch: FeatureBatch,
+    shared: SharedTrainState,
+    rows: np.ndarray,
+    start: float,
+) -> "list[tuple[FeatureModel, TaskCost] | None]":
+    """Execute a masked group: shared rows/folds, per-member input subsets.
+
+    The diverse-FRaC shape (and the all-others wiring): members agree on
+    the observed-row mask — hence on the fold layout — but each draws its
+    own input columns, so no design matrix is shared. What *is* shared is
+    gathered and computed once per (group, fold): the full-width row
+    gather, the column means, the centered design, the holdout rows, and
+    the whole y side (gather, finiteness, means, centering — batched
+    through bit-preserving contiguous-row reductions). Each member then
+    pays only its own column gather, Gram + Cholesky, and gemv solves,
+    through :meth:`repro.learners.batched.MaskedSolver.member` — which
+    guarantees every member float is bit-identical to the per-feature
+    path (single-input members replay the scalar kernel choice).
+    """
+    cfg = shared.config
+    x_full = shared.x_imputed[rows]
+    # One design validation for the whole group (covers every member's
+    # column subset and every fold's row slice); solvers skip re-checks.
+    check_2d(x_full, "X", allow_nan=False)
+    ids_list = [np.asarray(task.input_ids, dtype=np.intp) for task in batch.tasks]
+    feat = np.fromiter(
+        (task.feature_id for task in batch.tasks), dtype=np.intp, count=len(batch.tasks)
+    )
+    # (k, n) with contiguous member rows: row j is exactly the 1-D target
+    # vector the per-feature path gathers for member j.
+    ys = shared.x_targets.T[np.ix_(feat, rows)]
+
+    learner = make_batched_learner(cfg.regressor, **dict(cfg.regressor_params))
+    folds = shared_folds(shared.fold_seed, len(rows), cfg.n_folds)
+
+    bus = get_bus()
+    preds = [np.empty(len(rows)) for _ in batch.tasks]
+    for fold, (train_idx, holdout_idx) in enumerate(folds):
+        # One gather + one mean/centering pass per (group, fold); the
+        # remaining per-member cost is the column gather and its own
+        # Gram factorization (a shared factor is not bit-reachable here —
+        # see repro.learners.batched).
+        solver = learner.masked_solver(x_full[train_idx], check=False)  # fraclint: disable=FRL016 -- the amortized per-fold gather (one per group, not per feature); priced in the ledger under run_feature_tasks
+        x_holdout = x_full[holdout_idx]  # fraclint: disable=FRL016 -- amortized holdout gather, shared by every member column
+        # ascontiguousarray: the column gather is F-contiguous, whose
+        # axis-1 reduction takes a strided kernel; each member's
+        # reference y.mean() is the 1-D pairwise kernel, which only the
+        # C-contiguous rows replay.
+        y_fold = np.ascontiguousarray(ys[:, train_idx])  # fraclint: disable=FRL016 -- amortized target gather: one (k, n_fold) copy per fold for the whole group
+        if not np.isfinite(y_fold).all():
+            # The same error fit_column raises per member; failing the
+            # batch routes every member down the per-feature path, which
+            # reports it with the offending feature attached.
+            raise ValueError("target y contains non-finite values")
+        # Contiguous-row axis-1 reductions run the same pairwise kernel
+        # as each member's scalar y.mean(); broadcast centering is
+        # elementwise — both bit-identical to the per-member ops.
+        y_means = y_fold.mean(axis=1)
+        y_centered = y_fold - y_means[:, None]
+        for j, task in enumerate(batch.tasks):
+            member = solver.member(ids_list[j])
+            model = member.solve_centered(y_centered[j], y_means[j])
+            # The gemv predict() runs, minus its isfinite re-scan of rows
+            # validated once above.
+            # ascontiguousarray: the column gather is F-contiguous and
+            # gemv dispatches differently there; the reference path's
+            # np.ix_ gather is C-contiguous, so replay that layout.
+            x_m = np.ascontiguousarray(x_holdout[:, ids_list[j]])  # fraclint: disable=FRL016 -- per-member holdout column gather; O(n*d') next to the member's own O(n*d'^2) Gram
+            preds[j][holdout_idx] = x_m @ model.coef_ + model.intercept_
+            if bus is not None:
+                bus.emit(
+                    FoldTrained(
+                        feature_id=int(task.feature_id),
+                        slot=int(task.slot),
+                        fold=fold,
+                        n_folds=len(folds),
+                    )
+                )
+
+    final = learner.masked_solver(x_full, check=False)
+    # Batched per-member tail: KDE entropies, Gaussian error models, and
+    # CV mean surprisals all batch across the group's contiguous rows
+    # with the same bit-preservation arguments as the training half (see
+    # repro.errormodels.kde.batch_entropy / GaussianErrorModel.batch_fit).
+    # Only the final refit stays per member — its Gram is the member's own.
+    preds_mat = np.stack(preds)
+    entropies = batch_entropy(ys)
+    error_models = GaussianErrorModel.batch_fit(
+        preds_mat, ys, sigma_floor=cfg.sigma_floor
+    )
+    cv_means = GaussianErrorModel.batch_mean_surprisal(error_models, preds_mat, ys)
+    shared_cpu = cpu_seconds() - start
+    out: "list[tuple[FeatureModel, TaskCost] | None]" = []
+    for j, task in enumerate(batch.tasks):  # fraclint: disable=FRL015 -- O(k) assembly: the tail's numpy work (entropy, error fit, CV surprisal) is batched above; only the final per-member refit stays, its Gram being the member's own
+        per0 = cpu_seconds()
+        error_model = error_models[j]
+        entropy = float(entropies[j])
+        cv_mean_surprisal = float(cv_means[j])
+        predictor = final.member(ids_list[j]).fit_column(ys[j])
+        cost = TaskCost(
+            cpu_seconds=shared_cpu / len(batch.tasks) + (cpu_seconds() - per0),
+            design_bytes=design_matrix_bytes(len(rows), max(len(ids_list[j]), 1)),
+            model_bytes=int(getattr(predictor, "model_nbytes", 0))
+            + error_model.model_nbytes,
+            work_units=training_work_units(
+                len(folds) + 1, len(rows), len(ids_list[j])
+            ),
+        )
+        out.append(
+            (
+                FeatureModel(
+                    feature_id=task.feature_id,
+                    input_ids=ids_list[j],
                     predictor=predictor,
                     error_model=error_model,
                     entropy=entropy,
@@ -599,7 +772,11 @@ def _run_batched(tasks, shared, checkpoint, failures):
                     bus.emit(CheckpointMiss(index=i, key=key))
                 pending.append(i)
 
-    batches, passthrough = plan_feature_batches([tasks[i] for i in pending], shared)
+    batches, passthrough = plan_feature_batches(
+        [tasks[i] for i in pending],
+        shared,
+        masked=supports_masked_batching(cfg.regressor),
+    )
 
     # 2. Batch wave (quiet: lifecycle is re-emitted per feature below).
     wave_failures = FailureReport()
@@ -683,29 +860,110 @@ def _run_batched(tasks, shared, checkpoint, failures):
     return results
 
 
+#: Global switch for the batched scoring gather, the scoring-side twin of
+#: :data:`MASKED_GROUPING`. ``True`` runs the grouped path under a
+#: ``score.batch`` span; ``False`` replays the retired per-model loop
+#: (span ``score.gather``) so the benchmark trajectory can price the
+#: pre-batching engine in the same process. Scores are bitwise identical
+#: either way.
+BATCHED_SCORING = True
+
+
+def _gather_surprisals_scalar(
+    models: list[FeatureModel],
+    x_test_imputed: np.ndarray,
+    x_test_targets: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """The retired per-model gather loop, kept as the priced baseline.
+
+    :func:`gather_surprisals` is pinned bitwise against this exact loop
+    (tests/core/test_batched_scoring.py); benchmarks run it via
+    :data:`BATCHED_SCORING` to measure what the batching bought.
+    """
+    for t, fm in enumerate(models):  # fraclint: disable=FRL015 -- the deliberately scalar baseline the bench trajectory prices
+        truths = x_test_targets[:, fm.feature_id]
+        observed = ~np.isnan(truths)
+        if not observed.any():
+            continue
+        preds = fm.predictor.predict(x_test_imputed[np.ix_(observed, fm.input_ids)])  # fraclint: disable=FRL016 -- per-model gather is the point of this baseline
+        out[observed, t] = (
+            fm.error_model.surprisal(preds, truths[observed]) - fm.entropy  # fraclint: disable=FRL016 -- the baseline's per-model masked gather/scatter, priced by score.gather
+        )
+
+
 def gather_surprisals(
     models: list[FeatureModel],
     x_test_imputed: np.ndarray,
     x_test_targets: np.ndarray,
     out: np.ndarray,
 ) -> None:
-    """The per-model masked scoring gather, written into ``out`` in place.
+    """Batched masked scoring, written into ``out`` in place.
 
-    This loop is the optimization ledger's #1 measured finding
-    (docs/optimization-ledger.md): one masked row copy per feature model.
-    It lives in its own function so the ``score.gather`` span prices
-    exactly this work — the batching rewrite (ROADMAP Open item 1,
-    scoring half) starts here.
+    The per-model gather loop this replaces was the optimization ledger's
+    #1 measured finding: seventeen-odd numpy dispatches per feature model
+    (mask, row copy, ``predict`` validation, scalar surprisal) on arrays
+    small enough that dispatch dominated. The batched path (ROADMAP Open
+    item 1, scoring half) groups models by (observed-mask bytes, error-
+    model type) and amortizes everything the group shares — the mask, the
+    truth gather, the surprisal math (one
+    :meth:`~repro.errormodels.base.ErrorModel.batch_surprisal` call), the
+    entropy subtraction, and the masked scatter — while keeping the
+    result bitwise equal to the scalar loop:
+
+    - gathers and scatters are pure copies;
+    - linear predictions stay one gemv *per model* — stacking coefficient
+      vectors into one GEMM is **not** columnwise bit-identical to the
+      per-model gemv (measured; docs/performance.md) — but skip
+      ``predict``'s re-validation scan, which is a bitwise no-op;
+    - batched surprisal broadcasts per-model rows through the same
+      elementwise ops the scalar path runs, with per-model scalar
+      ``np.log`` replay where SIMD would move a bit;
+    - subtracting a per-model entropy row is elementwise identical to
+      subtracting each scalar.
     """
+    groups: "dict[tuple[bytes, type], list[int]]" = {}
+    masks: "dict[tuple[bytes, type], np.ndarray]" = {}
     for t, fm in enumerate(models):
-        truths = x_test_targets[:, fm.feature_id]
-        observed = ~np.isnan(truths)
-        if not observed.any():
+        observed = ~np.isnan(x_test_targets[:, fm.feature_id])
+        key = (observed.tobytes(), type(fm.error_model))
+        groups.setdefault(key, []).append(t)
+        masks.setdefault(key, observed)
+    for key, cols in groups.items():
+        mask = masks[key]
+        if not mask.any():
             continue
-        # Per-feature scoring gather: one masked copy per feature model,
-        # batched together with the fit loop (ROADMAP Open item 1).
-        preds = fm.predictor.predict(x_test_imputed[np.ix_(observed, fm.input_ids)])  # fraclint: disable=FRL016
-        out[observed, t] = fm.error_model.surprisal(preds, truths[observed]) - fm.entropy  # fraclint: disable=FRL016 -- masked truth gather, batched with scoring (Open item 1)
+        rows = np.flatnonzero(mask)
+        full = len(rows) == mask.shape[0]
+        x_obs = x_test_imputed if full else x_test_imputed[rows]  # fraclint: disable=FRL016 -- one row gather per mask group (not per model): this IS the batched gather
+        feat = np.fromiter(
+            (models[t].feature_id for t in cols), dtype=np.intp, count=len(cols)
+        )
+        truths = x_test_targets[:, feat] if full else x_test_targets[np.ix_(rows, feat)]  # fraclint: disable=FRL016 -- one truth-matrix gather per mask group, amortized over its members
+        preds = np.empty((len(rows), len(cols)))
+        for j, t in enumerate(cols):
+            fm = models[t]
+            # ascontiguousarray: the reference loop gathered with np.ix_
+            # (C-contiguous); a bare column gather is F-contiguous and
+            # gemv's transpose dispatch there is not bit-identical.
+            x_member = np.ascontiguousarray(x_obs[:, fm.input_ids])
+            predictor = fm.predictor
+            if type(predictor) is RidgeRegressor:
+                # The gemv predict() runs, minus its isfinite re-scan of
+                # rows already validated at fit/impute time.
+                preds[:, j] = x_member @ predictor.coef_ + predictor.intercept_
+            else:
+                preds[:, j] = predictor.predict(x_member)
+        error_type = key[1]
+        surprisal = error_type.batch_surprisal(
+            [models[t].error_model for t in cols], preds, truths
+        )
+        entropy = np.array([models[t].entropy for t in cols])
+        cols_arr = np.asarray(cols, dtype=np.intp)
+        if full:
+            out[:, cols_arr] = surprisal - entropy
+        else:
+            out[np.ix_(rows, cols_arr)] = surprisal - entropy
 
 
 def score_contributions(
@@ -716,14 +974,23 @@ def score_contributions(
     """NS contribution matrix ``(n_test, n_models)`` for fitted models.
 
     Missing test targets contribute exactly zero (the NS definition's
-    "otherwise" branch). The gather loop runs under a ``score.gather``
+    "otherwise" branch). The batched gather runs under a ``score.batch``
     span (nested inside the caller's ``score.contributions``) so traces
-    separate the hot masked-copy loop from the preprocessing around it.
+    separate the hot scoring work from the preprocessing around it —
+    and so the ledger re-prices it against the retired ``score.gather``
+    loop (``repro trace diff`` matches the renamed populations through
+    their shared qualname).
     """
     n = x_test_imputed.shape[0]
     out = np.zeros((n, len(models)))
-    with span(
-        "score.gather", attrs={"n_models": len(models), "n_samples": int(n)}
-    ):
-        gather_surprisals(models, x_test_imputed, x_test_targets, out)
+    if BATCHED_SCORING:
+        with span(
+            "score.batch", attrs={"n_models": len(models), "n_samples": int(n)}
+        ):
+            gather_surprisals(models, x_test_imputed, x_test_targets, out)
+    else:
+        with span(
+            "score.gather", attrs={"n_models": len(models), "n_samples": int(n)}
+        ):
+            _gather_surprisals_scalar(models, x_test_imputed, x_test_targets, out)
     return out

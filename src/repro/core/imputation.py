@@ -36,23 +36,44 @@ class Preprocessor:
         fill = np.zeros(n_features)
         mean = np.zeros(n_features)
         scale = np.ones(n_features)
-        # Per-feature stats loop: batchable via nan-aware reductions
-        # (np.nanmean/np.nanstd); deferred to the batched-training
-        # rewrite (ROADMAP Open item 1), tracked in the ledger.
-        for j in range(n_features):  # fraclint: disable=FRL015
+        missing = np.isnan(x)
+        n_observed = x.shape[0] - missing.sum(axis=0)
+        if n_features and not n_observed.all():
+            # Report the lowest offending column, as the per-column loop did.
+            j = int(np.flatnonzero(n_observed == 0)[0])
+            raise DataError(f"feature {j} has no observed training values")
+        is_real = np.zeros(n_features, dtype=bool)
+        is_real[self.schema.real_indices] = True
+        has_nan = missing.any(axis=0)
+
+        # NaN-free real columns take the batched path: gathering rows of
+        # the transpose yields a C-contiguous (k, n) matrix whose axis-1
+        # reductions run the same 1-D pairwise kernel as a per-column
+        # ``col.mean()`` / ``col.std()`` — bitwise-equal statistics.
+        # ``np.nanmean`` over the full matrix would NOT be: with NaNs
+        # present it reduces in a different association order than the
+        # compacted ``col[~isnan]`` the per-column path used.
+        complete = np.flatnonzero(is_real & ~has_nan)
+        if complete.size:
+            xt = x.T[complete]
+            mean[complete] = xt.mean(axis=1)
+            sd = xt.std(axis=1)
+            scale[complete] = np.where(sd > 0.0, sd, 1.0)
+        for j in np.flatnonzero(is_real & has_nan):  # fraclint: disable=FRL015 -- NaN-containing real columns must replay the compacted scalar reduction; the batched kernel above covers the NaN-free (common) case
             col = x[:, j]
-            observed = col[~np.isnan(col)]  # fraclint: disable=FRL016 -- per-feature NaN mask, goes away with the nan-aware batch rewrite
-            if observed.size == 0:
-                raise DataError(f"feature {j} has no observed training values")
-            if self.schema[j].is_categorical:
-                codes, counts = np.unique(observed.astype(np.intp), return_counts=True)
-                fill[j] = float(codes[np.argmax(counts)])
-            else:
-                mean[j] = float(observed.mean())
-                sd = float(observed.std())
-                scale[j] = sd if sd > 0 else 1.0
-                # Fill value in *standardized* units is 0 (the mean).
-                fill[j] = 0.0 if self.standardize else mean[j]
+            observed = col[~np.isnan(col)]  # fraclint: disable=FRL016 -- compaction is the point: nanmean's association order differs bitwise
+            mean[j] = float(observed.mean())
+            sd_j = float(observed.std())
+            scale[j] = sd_j if sd_j > 0 else 1.0
+        if not self.standardize:
+            # Fill value in *standardized* units is 0 (the mean); raw
+            # units fall back to the column mean itself.
+            fill[is_real] = mean[is_real]
+        for j in np.flatnonzero(~is_real):  # fraclint: disable=FRL015 -- per-column mode via np.unique; categorical columns are few and a batched mode has no shared kernel to amortize
+            col = x[:, j]
+            observed = col[~np.isnan(col)]  # fraclint: disable=FRL016 -- mode needs the compacted column; see note above
+            codes, counts = np.unique(observed.astype(np.intp), return_counts=True)
+            fill[j] = float(codes[np.argmax(counts)])
         self.fill_ = fill
         self.mean_ = mean
         self.scale_ = scale

@@ -27,6 +27,27 @@ class ErrorModel(ABC):
     def surprisal(self, predictions: np.ndarray, truths: np.ndarray) -> np.ndarray:
         """``-ln P(truth_i | prediction_i)`` per element (vectorized)."""
 
+    @classmethod
+    def batch_surprisal(
+        cls, models: "list[ErrorModel]", predictions: np.ndarray, truths: np.ndarray
+    ) -> np.ndarray:
+        """Column-wise surprisal for a group of fitted models.
+
+        ``predictions`` and ``truths`` are ``(n, k)`` matrices whose column
+        ``j`` belongs to ``models[j]``. The contract is **bitwise**: column
+        ``j`` of the result equals ``models[j].surprisal(predictions[:, j],
+        truths[:, j])`` exactly (``np.array_equal``). This default replays
+        the scalar call per column — the safe fallback for any error model;
+        subclasses override it only where the math vectorizes without
+        moving a bit (see :class:`~repro.errormodels.gaussian.
+        GaussianErrorModel` and :class:`~repro.errormodels.confusion.
+        ConfusionErrorModel`).
+        """
+        out = np.empty(predictions.shape, dtype=np.float64)
+        for j, model in enumerate(models):
+            out[:, j] = model.surprisal(predictions[:, j], truths[:, j])
+        return out
+
     @property
     def model_nbytes(self) -> int:
         """Approximate bytes of fitted state (resource-model hook)."""

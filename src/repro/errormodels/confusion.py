@@ -67,6 +67,31 @@ class ConfusionErrorModel(ErrorModel):
         true = self._codes(truths, "truths")
         return -self.log_prob_[pred, true]
 
+    @classmethod
+    def batch_surprisal(
+        cls, models: "list[ConfusionErrorModel]", predictions: np.ndarray, truths: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized column-wise surprisal, bitwise equal to the scalar path.
+
+        Surprisal here is a pure table gather (code rounding + advanced
+        indexing, no float arithmetic), so stacking the ``log_prob_``
+        tables and gathering once is trivially bit-identical. Mixed-arity
+        groups fall back to the per-column base implementation — their
+        tables cannot stack.
+        """
+        if not models or any(m.arity != models[0].arity for m in models):
+            return super().batch_surprisal(models, predictions, truths)
+        for model in models:
+            check_fitted(model, "log_prob_")
+        arity = models[0].arity
+        pred = np.rint(np.asarray(predictions, dtype=np.float64)).astype(np.intp)
+        true = np.rint(np.asarray(truths, dtype=np.float64)).astype(np.intp)
+        for name, codes in (("predictions", pred), ("truths", true)):
+            if codes.size and (codes.min() < 0 or codes.max() >= arity):
+                raise DataError(f"{name} contains codes outside [0, {arity})")
+        tables = np.stack([model.log_prob_ for model in models])  # (k, arity, arity)
+        return -tables[np.arange(len(models)), pred, true]
+
     @property
     def model_nbytes(self) -> int:
         return 0 if self.log_prob_ is None else int(self.log_prob_.nbytes)

@@ -28,6 +28,34 @@ Multi-RHS solves (``dpotrs`` on a matrix RHS) are deliberately *not*
 used: blocked BLAS-3 triangular solves are not guaranteed columnwise
 bit-identical to the vector form. Only the factorization is shared; the
 per-column work replays the scalar path verbatim.
+
+Masked groups (diverse-FRaC)
+----------------------------
+Diverse-FRaC's tasks share rows but draw per-feature *input subsets*, so
+no two members share a design matrix and the exact-group solver above
+degenerates to singletons. :class:`_RidgeMaskedSolver` batches what such
+a group *does* share — the row gather, the column means, the centered
+matrix — and hands each member a :class:`_RidgeColumnSolver` built from
+the member's column gather of that shared centered state. Three measured
+bitwise facts bound what may be shared (docs/performance.md):
+
+- numpy's axis-0 reduction keys on *memory layout*: on a C-contiguous
+  design (what ``np.ix_`` gathers produce, and what the reference fit
+  reduces) it is width-independent for ``d >= 2``, so the shared
+  full-width ``x.mean(axis=0)`` extracts bit-identically per member via
+  ``mean[S]`` — while an F-contiguous gather like ``x[:, S]`` reduces
+  through the 1-D pairwise kernel instead and does **not** match. An
+  ``(n, 1)`` design also takes the 1-D kernel, so single-input members
+  replay the scalar path from the raw column (covering ``d == 0`` too);
+- centering commutes with the column gather exactly (elementwise op),
+  so ``(X - mean)[:, S]`` replays ``X[:, S] - mean[S]``;
+- the member Gram must be computed as ``xc.T @ xc`` **on one array
+  object**: numpy dispatches the same-operand product to ``dsyrk``, and
+  extracting ``G[np.ix_(S, S)]`` from a full-width Gram (or multiplying
+  two equal copies, which lands in ``dgemm``) does not reproduce its
+  bits. The masked path therefore still factors one Gram per member —
+  the win is amortized gathers, means, and centering, not a shared
+  factorization.
 """
 
 from __future__ import annotations
@@ -58,6 +86,23 @@ class BatchedLearner(BaseLearner):
     protocol extension, not a silent drop).
     """
 
+    #: Whether :meth:`masked_solver` is implemented — i.e. whether the
+    #: learner can batch groups that share rows but not input subsets
+    #: (diverse-FRaC). Checked by the engine's planner through
+    #: :func:`repro.learners.registry.supports_masked_batching`.
+    supports_masked = False
+
+    def masked_solver(self, x: np.ndarray, *, check: bool = True) -> "MaskedSolver":
+        """Shared state for a full-width design whose members take subsets.
+
+        ``x`` carries *every* feature column; each member later selects
+        its own column subset via :meth:`MaskedSolver.member`. Only
+        learners with ``supports_masked = True`` implement this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support masked batching"
+        )
+
     @abstractmethod
     def solver(self, x: np.ndarray, *, check: bool = True) -> "ColumnSolver":
         """Precompute the shared state for design matrix ``x``.
@@ -82,6 +127,14 @@ class ColumnSolver:
         """A fitted single-target learner for target column ``y``."""
 
 
+class MaskedSolver:
+    """Per-full-width-design state; ``member`` scopes it to a column subset."""
+
+    @abstractmethod
+    def member(self, input_ids: np.ndarray) -> ColumnSolver:
+        """A column solver over the subset ``input_ids`` of the design."""
+
+
 class _RidgeColumnSolver(ColumnSolver):
     """Shared centering + Gram + Cholesky for one ridge design matrix.
 
@@ -100,10 +153,36 @@ class _RidgeColumnSolver(ColumnSolver):
         self._n, self._d = x.shape
         self._x_mean = x.mean(axis=0)
         self._xc = x - self._x_mean
-        self._factor = None
+        self._factor = self._factorize()
+
+    @classmethod
+    def _from_centered(
+        cls, xc: np.ndarray, x_mean: np.ndarray, alpha: float
+    ) -> "_RidgeColumnSolver":
+        """Build from pre-centered state (the masked-group fast path).
+
+        Bitwise contract on the caller: ``xc`` and ``x_mean`` must carry
+        the exact bits ``__init__`` would compute from the member's own
+        design gather. :class:`_RidgeMaskedSolver` guarantees that by
+        sharing only bit-preserving steps (column gathers of a shared
+        centered matrix; mean extraction for >= 2 columns).
+        """
+        self = cls.__new__(cls)
+        self._alpha = float(alpha)
+        self._n, self._d = xc.shape
+        self._x_mean = x_mean
+        self._xc = xc
+        self._factor = self._factorize()
+        return self
+
+    def _factorize(self) -> "np.ndarray | None":
         if self._d == 0:
-            return
+            return None
         if self._d <= self._n:
+            # The same-object product dispatches to dsyrk, exactly like
+            # the scalar path's `xc.T @ xc` — materializing xc once and
+            # multiplying it with itself is part of the bitwise contract
+            # (two equal copies would land in dgemm and move bits).
             gram = self._xc.T @ self._xc
             gram.flat[:: self._d + 1] += self._alpha
         else:
@@ -113,7 +192,7 @@ class _RidgeColumnSolver(ColumnSolver):
         # dposv (what the per-feature path effectively runs) = dpotrf +
         # dpotrs; sharing the dpotrf here and replaying dpotrs per column
         # is the whole batching win.
-        self._factor = spd_factor(gram)
+        return spd_factor(gram)
 
     def _solve(self, rhs: np.ndarray) -> np.ndarray:
         return spd_solve(self._factor, rhs)
@@ -124,18 +203,75 @@ class _RidgeColumnSolver(ColumnSolver):
         if not np.isfinite(y).all():
             raise ValueError("target y contains non-finite values")
         y_mean = y.mean()
+        return self.solve_centered(y - y_mean, y_mean)
+
+    def solve_centered(self, yc: np.ndarray, y_mean: float) -> RidgeRegressor:
+        """Fit from a pre-centered target column.
+
+        Bitwise contract on the caller: ``yc`` / ``y_mean`` must equal
+        ``y - y.mean()`` / ``y.mean()`` of the scalar path exactly. Row-
+        wise batched centering qualifies: an axis-1 mean over contiguous
+        rows runs the same pairwise kernel as the 1-D scalar mean, and
+        broadcast subtraction is elementwise.
+        """
         model = RidgeRegressor(alpha=self._alpha)
         if self._d == 0:
             model.coef_ = np.zeros(0)
             model.intercept_ = float(y_mean)
             return model
-        yc = y - y_mean
         if self._d <= self._n:
             model.coef_ = self._solve(self._xc.T @ yc)
         else:
             model.coef_ = self._xc.T @ self._solve(yc)
         model.intercept_ = float(y_mean - self._x_mean @ model.coef_)
         return model
+
+
+class _RidgeMaskedSolver(MaskedSolver):
+    """Shared row gather + means + centering for per-member column subsets.
+
+    Holds the full-width design once per (group, fold): the raw matrix
+    (single-column members replay the scalar path from it), the column
+    means, and the centered matrix. ``member`` scopes that state to one
+    input subset with pure column gathers — every float a member's
+    :class:`_RidgeColumnSolver` then computes is bit-identical to fitting
+    ``RidgeRegressor`` on the member's own design gather (the module
+    docstring lists the measured facts this rests on).
+    """
+
+    def __init__(self, x: np.ndarray, alpha: float, *, check: bool = True) -> None:
+        if check:
+            x = check_2d(x, "X", allow_nan=False)
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self._alpha = float(alpha)
+        self._x = x
+        # ``x`` is C-contiguous (a row gather), and a C-layout axis-0
+        # reduction is width-independent for d >= 2: the full-width mean
+        # extracts bit-identically to what each member's reference fit
+        # computes on its own np.ix_-gathered (C-contiguous) design.
+        # Layout is load-bearing — an F-contiguous gather like
+        # ``x[:, ids]`` reduces through the 1-D pairwise kernel instead
+        # and does NOT match (measured; see docs/performance.md).
+        self._x_mean = x.mean(axis=0)
+        self._xc = x - self._x_mean
+
+    def member(self, input_ids: np.ndarray) -> _RidgeColumnSolver:
+        ids = np.asarray(input_ids, dtype=np.intp)
+        if ids.size <= 1:
+            # An (n, 1) submatrix reduces through the 1-D pairwise kernel,
+            # so the shared mean extraction is not bit-identical there;
+            # hand the raw column to the ordinary solver, which replays
+            # the scalar path in full (d == 0 likewise short-circuits).
+            return _RidgeColumnSolver(self._x[:, ids], self._alpha, check=False)
+        # ascontiguousarray matters: ``xc[:, ids]`` gathers into an
+        # F-contiguous result, and BLAS dispatches the Gram product to a
+        # different dsyrk transpose path there — same math, not the same
+        # bits. The reference path's np.ix_ gather is C-contiguous, so
+        # the member design must be too.
+        return _RidgeColumnSolver._from_centered(
+            np.ascontiguousarray(self._xc[:, ids]), self._x_mean[ids], self._alpha
+        )
 
 
 class BatchedRidge(BatchedLearner):
@@ -148,6 +284,8 @@ class BatchedRidge(BatchedLearner):
     type either way.
     """
 
+    supports_masked = True
+
     def __init__(self, alpha: float = 1.0) -> None:
         if alpha <= 0:
             raise ValueError(f"alpha must be positive; got {alpha}")
@@ -155,3 +293,6 @@ class BatchedRidge(BatchedLearner):
 
     def solver(self, x: np.ndarray, *, check: bool = True) -> _RidgeColumnSolver:
         return _RidgeColumnSolver(x, self.alpha, check=check)
+
+    def masked_solver(self, x: np.ndarray, *, check: bool = True) -> _RidgeMaskedSolver:
+        return _RidgeMaskedSolver(x, self.alpha, check=check)

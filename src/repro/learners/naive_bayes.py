@@ -46,7 +46,7 @@ class CategoricalNB(Classifier):
     def fit(self, x: np.ndarray, y: np.ndarray) -> "CategoricalNB":
         x, y = self._validate_xy(x, y)
         labels = y.astype(np.intp)
-        self.classes_ = np.unique(labels)
+        self.classes_, class_counts = np.unique(labels, return_counts=True)
         n_classes = len(self.classes_)
         n_features = x.shape[1]
         raw = np.rint(x).astype(np.intp)
@@ -56,17 +56,22 @@ class CategoricalNB(Classifier):
         counts = np.full(
             (n_classes, max(n_features, 1), self._n_values), self.smoothing
         )
-        # Per-class/per-feature count loop: batchable with one bincount
-        # over (class, feature, value) flat codes; deferred to the
-        # batched-learner rewrite (ROADMAP Open item 1).
-        for ci, cls in enumerate(self.classes_):
-            rows = codes[labels == cls]  # fraclint: disable=FRL016 -- per-class row mask, folded into the flat-bincount rewrite (Open item 1)
-            for j in range(n_features):  # fraclint: disable=FRL015 -- per-feature bincount loop, flat-bincount rewrite (Open item 1)
-                counts[ci, j] += np.bincount(rows[:, j], minlength=self._n_values)
+        if n_features:
+            # One flat bincount over (class, feature, value) triples
+            # replaces the per-class/per-feature loop: each training cell
+            # lands in its own bin, and adding the integer counts to the
+            # smoothing pseudo-count is the same single float add per
+            # cell the loop performed (exact: counts are integers).
+            class_idx = np.searchsorted(self.classes_, labels)
+            flat = (
+                class_idx[:, None] * n_features + np.arange(n_features)
+            ) * self._n_values + codes
+            counts += np.bincount(
+                flat.ravel(), minlength=n_classes * n_features * self._n_values
+            ).reshape(n_classes, n_features, self._n_values)
         # Positive by construction: counts is initialized to the smoothing
         # pseudo-count (validated > 0) before bincounts are added.
         self.log_likelihood_ = np.log(counts / counts.sum(axis=2, keepdims=True))  # fraclint: disable=FRL003
-        class_counts = np.array([(labels == cls).sum() for cls in self.classes_])
         # Positive by construction: classes_ comes from np.unique(labels),
         # so every class has at least one training row.
         self.log_prior_ = np.log(class_counts / class_counts.sum())  # fraclint: disable=FRL003
@@ -78,12 +83,11 @@ class CategoricalNB(Classifier):
         if x.shape[1] == 0 or self.log_likelihood_ is None:
             return np.full(x.shape[0], float(self.classes_[np.argmax(self.log_prior_)]))
         codes = self._codes(x)
-        n, f = codes.shape
-        scores = np.tile(self.log_prior_, (n, 1))
-        # Per-feature likelihood gather: batchable with one take_along_axis
-        # over the code tensor (ROADMAP Open item 1).
-        for j in range(f):  # fraclint: disable=FRL015
-            scores += self.log_likelihood_[:, j, codes[:, j]].T  # fraclint: disable=FRL016 -- per-feature likelihood gather, take_along_axis rewrite (Open item 1)
+        # One take_along_axis gather over the value axis replaces the
+        # per-feature likelihood loop: gathered[c, j, i] is the log
+        # likelihood of sample i's value for feature j under class c.
+        gathered = np.take_along_axis(self.log_likelihood_, codes.T[None, :, :], axis=2)
+        scores = self.log_prior_[None, :] + gathered.sum(axis=1).T
         return self.classes_[np.argmax(scores, axis=1)].astype(np.float64)
 
     @property

@@ -8,7 +8,11 @@ compares two ``repro-trace-v1`` files by:
   (``ensemble.member[3]`` → ``ensemble.member``), carrying the
   call-graph qualname from :data:`SPAN_QUALNAMES` when known, so a
   population present in both traces yields per-population wall/CPU/RSS
-  deltas even when the runs used different parallel geometry;
+  deltas even when the runs used different parallel geometry. A span
+  that was *renamed* between the runs (``score.gather`` →
+  ``score.batch``) still matches when exactly one name on each side
+  maps to the same qualname: the code being measured is the same, so
+  the populations compare — rendered as ``old -> new``;
 - **deterministic thresholds** — a population counts as changed only
   when its wall ratio leaves the ``[1/RATIO_THRESHOLD,
   RATIO_THRESHOLD]`` band (default ±10%); no machine-dependent
@@ -144,6 +148,33 @@ def _event_counts(records: list) -> "dict[str, int]":
     return counts
 
 
+def _rename_matches(names_a: set, names_b: set) -> "dict[str, str]":
+    """Pair spans renamed between the traces through their shared qualname.
+
+    A name present only in A matches a name present only in B when both
+    map to the same :data:`SPAN_QUALNAMES` qualname and each side has
+    exactly one such name — the measured code is identical, only its
+    label moved (``score.gather`` → ``score.batch``). Ambiguous fan-outs
+    (two old names onto one new, or vice versa) stay unmatched: a wrong
+    pairing would fabricate a ratio.
+    """
+    by_qual_a: "dict[str, list[str]]" = {}
+    for name in sorted(names_a - names_b):
+        qual = qualname_for_span(name)
+        if qual is not None:
+            by_qual_a.setdefault(qual, []).append(name)
+    by_qual_b: "dict[str, list[str]]" = {}
+    for name in sorted(names_b - names_a):
+        qual = qualname_for_span(name)
+        if qual is not None:
+            by_qual_b.setdefault(qual, []).append(name)
+    return {
+        only_a[0]: by_qual_b[qual][0]
+        for qual, only_a in by_qual_a.items()
+        if len(only_a) == 1 and len(by_qual_b.get(qual, ())) == 1
+    }
+
+
 def diff_traces(
     a: "TraceReadResult | list | str",
     b: "TraceReadResult | list | str",
@@ -158,7 +189,22 @@ def diff_traces(
     stats_b = _span_populations(records_b)
 
     diff = TraceDiff(label_a=label_a, label_b=label_b)
+    renames = _rename_matches(set(stats_a), set(stats_b))
+    renamed_b = set(renames.values())
     for name in sorted(set(stats_a) | set(stats_b)):
+        if name in renamed_b:
+            continue  # folded into its rename partner's delta below
+        if name in renames:
+            name_b = renames[name]
+            diff.populations.append(
+                PopulationDelta(
+                    name=f"{name} -> {name_b}",
+                    qualname=qualname_for_span(name),
+                    a=stats_a[name],
+                    b=stats_b[name_b],
+                )
+            )
+            continue
         diff.populations.append(
             PopulationDelta(
                 name=name,

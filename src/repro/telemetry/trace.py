@@ -283,10 +283,14 @@ SPAN_QUALNAMES = {
     # next perf PR can price per-group amortization from trace data.
     "fit.batch": "repro.core.engine.run_feature_batch",
     "score.contributions": "repro.core.engine.score_contributions",
-    # The per-model masked gather inside scoring — the ledger's #1
-    # measured finding (docs/optimization-ledger.md) now carries its own
-    # span, nested under score.contributions.
+    # The scoring hot path, nested under score.contributions. The span
+    # was named score.gather while gather_surprisals was the per-model
+    # masked-copy loop (the ledger's then-#1 measured finding) and became
+    # score.batch when the loop was batched; both names map to the same
+    # qualname, which is how `repro trace diff` matches the renamed
+    # populations across old and new traces.
     "score.gather": "repro.core.engine.gather_surprisals",
+    "score.batch": "repro.core.engine.gather_surprisals",
     "jl.project": "repro.core.preprojection.JLFRaC._project",
     "ensemble.member": "repro.core.ensemble.FRaCEnsemble.fit",
 }

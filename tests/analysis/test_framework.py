@@ -208,7 +208,9 @@ class TestSelfCheck:
     def test_introduced_violation_is_caught(self, tmp_path):
         """Copy a shipped module, strip one guard, and fraclint must fire."""
         src = (ROOT / "src/repro/errormodels/gaussian.py").read_text(encoding="utf-8")
-        mutated = src.replace("  # fraclint: disable=FRL003", "")
+        # Strip only the bare suppression (the batched classmethods'
+        # suppressions carry "-- note" trailers that would dangle).
+        mutated = src.replace("  # fraclint: disable=FRL003\n", "\n")
         assert mutated != src
         target = tmp_path / "gaussian.py"
         target.write_text(mutated)

@@ -157,16 +157,30 @@ class TestLedger:
     def ledger(self, project):
         return build_ledger(project, TRACE)
 
-    def test_scoring_gather_ranks_first_after_batching(self, ledger):
-        """Post-batching trajectory: the per-feature *fit* loop no longer
-        dominates the measured trace; the per-feature scoring gather is
-        the new top-ranked measured finding."""
+    def test_training_tail_ranks_first_after_scoring_rewrite(self, ledger):
+        """Post-scoring-rewrite trajectory: the scoring gather fell from
+        the #1 measured slot (batched away under ``score.batch``); what
+        tops the ledger now is the audited per-member training tail that
+        rides under ``fit.batch``."""
         top = ledger.entries[0]
         assert top.rank == 1
-        assert top.rule == "FRL016"
+        assert top.rule == "FRL015"
         assert top.path.endswith("core/engine.py")
         assert top.wall_s is not None and top.wall_s > 0
         assert top.audited and "Open item 1" in top.audit_note
+
+    def test_scoring_entries_price_below_training(self, ledger):
+        """The scoring half of the rewrite, visible in the ranking: every
+        finding attributed to ``score_contributions`` now costs a small
+        fraction of the top training entry."""
+        scoring = [
+            e
+            for e in ledger.entries
+            if e.attributed_via is not None and "score_contributions" in e.attributed_via
+        ]
+        assert scoring, "the scoring gathers should still be priced"
+        top_wall = ledger.entries[0].wall_s
+        assert all(e.wall_s is not None and e.wall_s < 0.5 * top_wall for e in scoring)
 
     def test_scalar_fit_loop_dropped_out_of_the_measured_ranks(self, ledger):
         """The pre-batching #1 (the per-feature fit loop) survives as the
@@ -175,7 +189,9 @@ class TestLedger:
         fit_loops = [
             e
             for e in ledger.entries
-            if e.rule == "FRL015" and e.path.endswith("core/engine.py")
+            if e.rule == "FRL015"
+            and e.path.endswith("core/engine.py")
+            and "per-feature fit loop" in e.audit_note
         ]
         assert fit_loops, "the scalar reference loop should still be audited"
         assert all(e.wall_s is None for e in fit_loops)

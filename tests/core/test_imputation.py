@@ -83,3 +83,97 @@ class TestPreprocessor:
         pre = Preprocessor(schema).fit(np.array([[0.0], [2.0]]))
         out = pre.transform(np.array([[4.0]]))
         np.testing.assert_allclose(out[0, 0], 3.0)  # (4 - 1) / 1
+
+
+def _loop_fit(schema, x, standardize=True):
+    """The retired per-column stats loop: the byte standard for fit()."""
+    n_features = x.shape[1]
+    fill = np.zeros(n_features)
+    mean = np.zeros(n_features)
+    scale = np.ones(n_features)
+    for j in range(n_features):
+        col = x[:, j]
+        observed = col[~np.isnan(col)]
+        if observed.size == 0:
+            raise DataError(f"feature {j} has no observed training values")
+        if schema[j].is_categorical:
+            codes, counts = np.unique(observed.astype(np.intp), return_counts=True)
+            fill[j] = float(codes[np.argmax(counts)])
+        else:
+            mean[j] = float(observed.mean())
+            sd = float(observed.std())
+            scale[j] = sd if sd > 0 else 1.0
+            fill[j] = 0.0 if standardize else mean[j]
+    return fill, mean, scale
+
+
+class TestVectorizedFitEquivalence:
+    """The batched fit (contiguous-row reductions for NaN-free real
+    columns, compacted scalar replay for NaN-holed ones) must reproduce
+    the per-column loop byte for byte — stats and imputed outputs."""
+
+    def _mixed(self, n=80, d=13, nan_frac=0.15, seed=0):
+        gen = np.random.default_rng(seed)
+        x = gen.normal(size=(n, d)) * gen.lognormal(size=d)
+        specs = []
+        for j in range(d):
+            if j % 5 == 4:
+                x[:, j] = gen.integers(0, 4, n)
+                specs.append(FeatureSpec(FeatureKind.CATEGORICAL, arity=4))
+            else:
+                specs.append(FeatureSpec(FeatureKind.REAL))
+        if nan_frac:
+            x[gen.random((n, d)) < nan_frac] = np.nan
+            # keep every column observed somewhere
+            x[0] = np.nan_to_num(x[0])
+        return x, FeatureSchema(specs)
+
+    @pytest.mark.parametrize("standardize", [True, False])
+    @pytest.mark.parametrize("nan_frac", [0.0, 0.15, 0.6])
+    def test_fit_stats_bitwise_equal(self, standardize, nan_frac):
+        x, schema = self._mixed(nan_frac=nan_frac)
+        pre = Preprocessor(schema, standardize=standardize).fit(x)
+        fill, mean, scale = _loop_fit(schema, x, standardize=standardize)
+        np.testing.assert_array_equal(pre.fill_, fill)
+        np.testing.assert_array_equal(pre.mean_, mean)
+        np.testing.assert_array_equal(pre.scale_, scale)
+
+    def test_imputed_outputs_bitwise_equal(self):
+        x, schema = self._mixed(seed=3)
+        gen = np.random.default_rng(5)
+        x_test = gen.normal(size=x.shape)
+        for j in range(x.shape[1]):
+            if schema[j].is_categorical:
+                x_test[:, j] = gen.integers(0, 4, x.shape[0])
+        x_test[gen.random(x.shape) < 0.2] = np.nan
+        pre = Preprocessor(schema).fit(x)
+        fill, mean, scale = _loop_fit(schema, x)
+        loop_pre = Preprocessor(schema)
+        loop_pre.fill_, loop_pre.mean_, loop_pre.scale_ = fill, mean, scale
+        np.testing.assert_array_equal(
+            pre.transform(x_test), loop_pre.transform(x_test)
+        )
+        np.testing.assert_array_equal(
+            pre.transform_keep_missing(x_test),
+            loop_pre.transform_keep_missing(x_test),
+        )
+
+    def test_constant_and_near_constant_columns(self):
+        # sd == 0 must keep the scale-1.0 guard on both paths
+        x = np.column_stack([
+            np.full(10, 3.0),
+            np.r_[np.full(9, 2.0), np.nan],
+            np.arange(10, dtype=float),
+        ])
+        schema = FeatureSchema.all_real(3)
+        pre = Preprocessor(schema).fit(x)
+        fill, mean, scale = _loop_fit(schema, x)
+        np.testing.assert_array_equal(pre.scale_, scale)
+        np.testing.assert_array_equal(pre.mean_, mean)
+        assert pre.scale_[0] == 1.0 and pre.scale_[1] == 1.0
+
+    def test_first_empty_column_still_reported(self):
+        x = np.array([[1.0, np.nan, np.nan], [2.0, np.nan, np.nan]])
+        schema = FeatureSchema.all_real(3)
+        with pytest.raises(DataError, match="feature 1 has no observed"):
+            Preprocessor(schema).fit(x)

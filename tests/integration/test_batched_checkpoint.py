@@ -128,9 +128,12 @@ class TestBatchedResume:
 
 
 class _ExplodingBatchedRidge:
-    """A batched learner whose shared solver always fails."""
+    """A batched learner whose shared solvers always fail."""
 
     def solver(self, x, *, check=True):
+        raise RuntimeError("injected batch failure")
+
+    def masked_solver(self, x, *, check=True):
         raise RuntimeError("injected batch failure")
 
 

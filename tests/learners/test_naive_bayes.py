@@ -66,3 +66,85 @@ class TestCategoricalNB:
         frac = FRaC(cfg, rng=0).fit(rep.x_train, rep.schema)
         auc = auc_score(rep.y_test, frac.score(rep.x_test))
         assert auc > 0.55
+
+
+class _LoopNB(CategoricalNB):
+    """The retired per-class/per-feature loops, kept as the reference the
+    flat-bincount fit and take_along_axis predict are pinned against."""
+
+    def fit(self, x, y):
+        x, y = self._validate_xy(x, y)
+        labels = y.astype(np.intp)
+        self.classes_ = np.unique(labels)
+        n_classes = len(self.classes_)
+        n_features = x.shape[1]
+        raw = np.rint(x).astype(np.intp)
+        self._n_values = int(max(raw.max(initial=0) + 1, 2))
+        codes = self._codes(x)
+        counts = np.full(
+            (n_classes, max(n_features, 1), self._n_values), self.smoothing
+        )
+        for ci, cls in enumerate(self.classes_):
+            rows = codes[labels == cls]
+            for j in range(n_features):
+                counts[ci, j] += np.bincount(rows[:, j], minlength=self._n_values)
+        self.log_likelihood_ = np.log(counts / counts.sum(axis=2, keepdims=True))
+        class_counts = np.array([(labels == cls).sum() for cls in self.classes_])
+        self.log_prior_ = np.log(class_counts / class_counts.sum())
+        return self
+
+    def predict(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1] == 0 or self.log_likelihood_ is None:
+            return np.full(
+                x.shape[0], float(self.classes_[np.argmax(self.log_prior_)])
+            )
+        codes = self._codes(x)
+        n, f = codes.shape
+        scores = np.tile(self.log_prior_, (n, 1))
+        for j in range(f):
+            scores += self.log_likelihood_[:, j, codes[:, j]].T
+        return self.classes_[np.argmax(scores, axis=1)].astype(np.float64)
+
+
+class TestVectorizedEquivalence:
+    """Flat-bincount fit is bitwise-equal to the loop (integer counts add
+    exactly); take_along_axis predict is *decision*-equivalent (the
+    feature-axis sum is pairwise, the loop's ran sequentially)."""
+
+    def _problems(self):
+        gen = np.random.default_rng(7)
+        yield _snp_problem(n=400, seed=1)
+        yield _snp_problem(n=31, seed=2)
+        # gappy class labels, wider code range, many features
+        y = gen.choice([2.0, 5.0, 11.0], size=200)
+        x = gen.integers(0, 6, size=(200, 9)).astype(float)
+        yield x, y
+        # single sample per class
+        yield np.array([[0.0, 1.0], [2.0, 1.0]]), np.array([0.0, 1.0])
+
+    def test_fit_is_bitwise_equal_to_loop(self):
+        for x, y in self._problems():
+            a = CategoricalNB().fit(x, y)
+            b = _LoopNB().fit(x, y)
+            np.testing.assert_array_equal(a.classes_, b.classes_)
+            np.testing.assert_array_equal(a.log_prior_, b.log_prior_)
+            np.testing.assert_array_equal(a.log_likelihood_, b.log_likelihood_)
+            assert a._n_values == b._n_values
+
+    def test_predict_is_decision_equivalent(self):
+        gen = np.random.default_rng(9)
+        for x, y in self._problems():
+            a = CategoricalNB().fit(x, y)
+            b = _LoopNB().fit(x, y)
+            probes = [x, gen.integers(0, 8, size=(64, x.shape[1])).astype(float)]
+            for probe in probes:
+                np.testing.assert_array_equal(a.predict(probe), b.predict(probe))
+
+    def test_smoothing_variants_stay_equal(self):
+        x, y = _snp_problem(n=120, seed=4)
+        for smoothing in (0.25, 1.0, 3.0):
+            a = CategoricalNB(smoothing=smoothing).fit(x, y)
+            b = _LoopNB(smoothing=smoothing).fit(x, y)
+            np.testing.assert_array_equal(a.log_likelihood_, b.log_likelihood_)
+            np.testing.assert_array_equal(a.predict(x), b.predict(x))

@@ -16,6 +16,9 @@ BATCHED_TRACE = ROOT / "benchmarks" / "results" / "BENCH_table2_trace.jsonl"
 PER_FEATURE_TRACE = (
     ROOT / "benchmarks" / "results" / "BENCH_table2_trace_per_feature.jsonl"
 )
+SINGLETON_TRACE = (
+    ROOT / "benchmarks" / "results" / "BENCH_table2_trace_batched_ridge.jsonl"
+)
 
 
 def span_done(name, wall, *, depth=0, cpu=None, rss=0):
@@ -110,7 +113,7 @@ class TestCommittedTableIIPin:
             str(PER_FEATURE_TRACE),
             str(BATCHED_TRACE),
             label_a="per-feature-linear-svr",
-            label_b="batched-ridge",
+            label_b="batched-scoring",
         )
 
     def test_wall_clock_improvement_is_at_least_10x(self, diff):
@@ -122,13 +125,51 @@ class TestCommittedTableIIPin:
         assert by_name["fit.train"].verdict == "improved"
         text = render_trace_diff(diff)
         assert "faster" in text
-        assert "per-feature-linear-svr" in text and "batched-ridge" in text
+        assert "per-feature-linear-svr" in text and "batched-scoring" in text
 
     def test_diff_is_deterministic(self, diff):
         again = diff_traces(
             str(PER_FEATURE_TRACE),
             str(BATCHED_TRACE),
             label_a="per-feature-linear-svr",
-            label_b="batched-ridge",
+            label_b="batched-scoring",
         )
         assert render_trace_diff(again) == render_trace_diff(diff)
+
+
+class TestCommittedScoringRewritePin:
+    """The ISSUE 10 acceptance pin: the scoring rewrite must be readable
+    from the two committed traces alone. The singleton-engine trace names
+    its gather loop ``score.gather`` and the batched engine ``score.batch``;
+    the diff pairs them through the shared ``gather_surprisals`` qualname.
+    """
+
+    @pytest.fixture(scope="class")
+    def diff(self):
+        assert SINGLETON_TRACE.exists() and BATCHED_TRACE.exists()
+        return diff_traces(
+            str(SINGLETON_TRACE),
+            str(BATCHED_TRACE),
+            label_a="singleton-batch",
+            label_b="batched-scoring",
+        )
+
+    def test_gather_and_batch_pair_as_one_renamed_population(self, diff):
+        by_name = {p.name: p for p in diff.populations}
+        assert "score.gather -> score.batch" in by_name
+        assert "score.gather" not in by_name and "score.batch" not in by_name
+
+    def test_scoring_rewrite_holds_its_floor(self, diff):
+        """Measured ~2.7x wall on the committed traces; pinned at 2x —
+        the irreducible per-model gather+gemv under byte-equality caps
+        this well short of the ISSUE's optimistic 5x estimate."""
+        by_name = {p.name: p for p in diff.populations}
+        pop = by_name["score.gather -> score.batch"]
+        assert pop.verdict == "improved"
+        assert pop.a.count == pop.b.count  # one span per scored run either way
+        assert pop.a.wall_s >= 2.0 * pop.b.wall_s
+
+    def test_masked_training_improved_end_to_end(self, diff):
+        by_name = {p.name: p for p in diff.populations}
+        assert by_name["fit.train"].verdict == "improved"
+        assert diff.speedup is not None and diff.speedup >= 1.25

@@ -79,7 +79,8 @@ class TestTable2Trajectory:
         labels = [e["label"] for e in payload["entries"]]
         assert len(labels) == len(set(labels)), "duplicate trajectory labels"
         assert "per-feature-linear-svr" in labels  # pre-batching baseline
-        assert "batched-ridge" in labels  # the batched rewrite
+        assert "batched-ridge" in labels  # the batched-training rewrite
+        assert "batched-scoring" in labels  # masked groups + batched scoring
 
     def test_features_per_s_did_not_regress(self, payload):
         by_label = {e["label"]: e for e in payload["entries"]}
@@ -87,6 +88,18 @@ class TestTable2Trajectory:
         batched = by_label["batched-ridge"]
         assert batched["n_feature_tasks"] == baseline["n_feature_tasks"]
         assert batched["features_per_s"] >= 10 * baseline["features_per_s"]
+
+    def test_batched_scoring_generation_improves_on_batched_ridge(self, payload):
+        """The masked-group + batched-scoring rewrite's committed floor.
+
+        Measured ~1.5x features/s over the exact-key generation; the pin
+        is conservative so scale jitter cannot flake it.
+        """
+        by_label = {e["label"]: e for e in payload["entries"]}
+        prev = by_label["batched-ridge"]
+        scored = by_label["batched-scoring"]
+        assert scored["n_feature_tasks"] == prev["n_feature_tasks"]
+        assert scored["features_per_s"] >= 1.2 * prev["features_per_s"]
 
     def test_emit_json_trajectory_appends_and_reruns_replace(self, tmp_path):
         """emit_json with a label accumulates entries (never clobbers the
@@ -124,6 +137,54 @@ class TestTable2Trajectory:
         doc = json.loads((tmp_path / "BENCH_table2.json").read_text(encoding="utf-8"))
         assert [e["label"] for e in doc["entries"]] == ["baseline", "new"]
         assert doc["entries"][0]["wall_s"] == 165.0
+
+
+class TestTable4Trajectory:
+    """The committed BENCH_table4.json trajectory (ISSUE 10).
+
+    Table IV's diverse variants degenerate to singleton batches under
+    exact-key grouping, so this trajectory prices the masked-group
+    engine (``masked-gram``) against the pre-batching engine replayed
+    (``singleton-batch``) over the same seven datasets.
+    """
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return json.loads(
+            (BENCH_DIR / "results" / "BENCH_table4.json").read_text(encoding="utf-8")
+        )
+
+    def test_is_a_v2_trajectory_with_both_engines(self, payload):
+        assert payload["format"] == "repro-bench-table4-v2"
+        labels = [e["label"] for e in payload["entries"]]
+        assert "singleton-batch" in labels
+        assert "masked-gram" in labels
+
+    def test_masked_engine_beats_singleton_wall(self, payload):
+        """Measured ~1.4x end-to-end (autism is tree-bound and barely
+        moves; expression datasets land 1.7-2.4x). Pin conservatively."""
+        by_label = {e["label"]: e for e in payload["entries"]}
+        singleton = by_label["singleton-batch"]
+        masked = by_label["masked-gram"]
+        assert singleton["wall_s"] >= 1.25 * masked["wall_s"]
+
+    def test_per_dataset_rows_cover_the_runnable_set(self, payload):
+        from repro.experiments.study import RUNNABLE_DATASETS
+
+        for entry in payload["entries"]:
+            names = [row["data_set"] for row in entry["rows"]]
+            assert names == list(RUNNABLE_DATASETS)
+            assert all(row["time_s"] > 0 for row in entry["rows"])
+            assert not any(row["estimated"] for row in entry["rows"])
+
+    def test_regress_gate_blesses_the_masked_entry(self, payload):
+        regress = _load_regress()
+        result = regress.evaluate(payload)
+        assert result.candidate == "masked-gram"
+        assert result.baseline == "singleton-batch"
+        assert result.mode == "surprisal"
+        assert result.mean_ratio < 0
+        assert not result.regressed
 
 
 def _load_regress():
@@ -166,7 +227,7 @@ class TestRegressGate:
 
         doc = copy.deepcopy(trajectory)
         by_label = {e["label"]: e for e in doc["entries"]}
-        slow = copy.deepcopy(by_label["batched-ridge"])
+        slow = copy.deepcopy(by_label["batched-scoring"])
         slow["label"] = "synthetic-slowdown"
         slow["wall_s"] = slow["wall_s"] * factor
         for row in slow.get("rows", []):
@@ -177,11 +238,12 @@ class TestRegressGate:
 
     def test_committed_trajectory_passes(self, regress, trajectory):
         result = regress.evaluate(trajectory)
-        assert result.candidate == "batched-ridge"
-        assert result.baseline == "per-feature-linear-svr"
+        assert result.candidate == "batched-scoring"
+        # The gate compares against the fastest committed predecessor.
+        assert result.baseline == "batched-ridge"
         assert result.mode == "surprisal"
         assert len(result.matched) >= regress.MIN_MATCHED_ROWS
-        assert result.mean_ratio < 0  # the batched rewrite is faster
+        assert result.mean_ratio < 0  # the scoring rewrite is faster
         assert not result.regressed
         assert "verdict: pass" in regress.render_gate(result)
 
@@ -189,7 +251,7 @@ class TestRegressGate:
         result = regress.evaluate(self._slowed(trajectory))
         assert result.candidate == "synthetic-slowdown"
         # The gate defends the best committed point, not the previous entry.
-        assert result.baseline == "batched-ridge"
+        assert result.baseline == "batched-scoring"
         assert result.regressed
         assert "verdict: REGRESSION" in regress.render_gate(result)
 
